@@ -1,0 +1,53 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one table or figure of the paper and prints
+the same rows/series the paper reports.  The simulated scale is
+controlled by the ``REPRO_SCALE`` environment variable
+(``smoke``/``bench``/``paper``); the default ``bench`` scale keeps each
+figure within a few minutes while preserving the qualitative shape.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+import pytest
+
+from repro.harness.experiments import BENCH, Scale, scale_from_env
+
+#: Rendered figure tables are appended here (pytest captures stdout of
+#: passing tests, so the tables would otherwise be invisible).
+RESULTS_FILE = pathlib.Path(__file__).resolve().parent.parent / "bench_results.txt"
+
+
+@pytest.fixture(scope="session")
+def scale() -> Scale:
+    return scale_from_env(BENCH)
+
+
+@pytest.fixture
+def report(request):
+    """Record a rendered figure table: stderr + bench_results.txt."""
+
+    def _report(text: str) -> None:
+        print(file=sys.stderr)
+        print(text, file=sys.stderr)
+        with RESULTS_FILE.open("a") as fh:
+            fh.write(f"\n===== {request.node.name} =====\n{text}\n")
+
+    return _report
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment driver exactly once under pytest-benchmark.
+
+    Experiment drivers simulate millions of router-cycles; repeating them
+    for statistical timing would multiply hours, so each figure runs a
+    single round and the benchmark time records the figure's cost.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate Footprint routing on an 8x8 mesh.
+
+Runs one simulation of the paper's default configuration (8x8 mesh,
+10 VCs, credit-based wormhole flow control) under transpose traffic and
+prints the headline metrics.  Then repeats the run with the DBAR baseline
+so you can see the two algorithms side by side.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import SimulationConfig, Simulator
+
+
+def run(routing: str) -> None:
+    config = SimulationConfig(
+        width=8,
+        num_vcs=10,
+        routing=routing,
+        traffic="transpose",
+        injection_rate=0.35,
+        # Reduced cycle counts so the example finishes in seconds; raise
+        # these (e.g. 1000/2000/10000) for publication-quality numbers.
+        warmup_cycles=200,
+        measure_cycles=400,
+        drain_cycles=1000,
+        seed=42,
+    )
+    result = Simulator(config).run()
+    print(f"--- {routing} ---")
+    print(f"  configuration : {config.describe()}")
+    print(f"  avg latency   : {result.avg_latency:.2f} cycles")
+    print(f"  p99 latency   : {result.latency.percentile(99):.0f} cycles")
+    print(f"  accepted rate : {result.accepted_rate:.4f} flits/node/cycle")
+    print(f"  delivered     : {result.measured_ejected}/{result.measured_created} measured packets")
+    print()
+
+
+def main() -> None:
+    for routing in ("footprint", "dbar", "dor"):
+        run(routing)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Reproduction of *Footprint: Regulating Routing Adaptiveness in
+Networks-on-Chip* (Fu & Kim, ISCA 2017).
+
+The package provides a cycle-level network-on-chip simulator (2D mesh,
+input-queued virtual-channel routers, credit-based wormhole flow control)
+together with the paper's Footprint routing algorithm and its baselines
+(DOR, Odd-Even, DBAR, and the XORDET static VC mapping overlay), the
+paper's traffic workloads, and the analyses behind its figures:
+latency-throughput sweeps, congestion-tree shape, blocking purity, and the
+implementation-cost model.
+
+Quick start::
+
+    from repro import SimulationConfig, Simulator
+
+    config = SimulationConfig(width=4, num_vcs=4, routing="footprint",
+                              traffic="transpose", injection_rate=0.2)
+    result = Simulator(config).run()
+    print(result.summary())
+"""
+
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import Simulator
+from repro.sim.results import SimulationResult
+from repro.routing.registry import available_algorithms, create_routing
+from repro.topology.mesh import Mesh2D
+from repro.topology.ports import Direction
+from repro.metrics.sweep import injection_sweep, saturation_throughput
+from repro.core.cost import CostModel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SimulationConfig",
+    "Simulator",
+    "SimulationResult",
+    "available_algorithms",
+    "create_routing",
+    "Mesh2D",
+    "Direction",
+    "injection_sweep",
+    "saturation_throughput",
+    "CostModel",
+    "__version__",
+]

@@ -1,0 +1,195 @@
+"""Command-line interface.
+
+``footprint-noc`` (or ``python -m repro``) runs either a single
+simulation or a whole paper experiment::
+
+    footprint-noc run --routing footprint --traffic transpose \\
+        --injection-rate 0.3 --width 8 --vcs 10
+
+    footprint-noc experiment fig9 --scale smoke
+    footprint-noc experiment table1
+    footprint-noc list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.harness import experiments as exp
+from repro.harness import reporting
+from repro.harness.runner import run_simulation
+from repro.routing.registry import available_algorithms
+from repro.sim.config import SimulationConfig
+from repro.traffic.patterns import PATTERNS
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="footprint-noc",
+        description=(
+            "Cycle-level NoC simulator reproducing 'Footprint: Regulating "
+            "Routing Adaptiveness in Networks-on-Chip' (ISCA 2017)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run a single simulation")
+    run.add_argument("--routing", default="footprint")
+    run.add_argument("--traffic", default="uniform")
+    run.add_argument("--injection-rate", type=float, default=0.1)
+    run.add_argument("--width", type=int, default=8)
+    run.add_argument("--height", type=int, default=None)
+    run.add_argument("--vcs", type=int, default=10)
+    run.add_argument("--buffer-depth", type=int, default=4)
+    run.add_argument("--packet-size", type=int, default=1)
+    run.add_argument(
+        "--packet-size-range",
+        type=int,
+        nargs=2,
+        metavar=("LO", "HI"),
+        default=None,
+    )
+    run.add_argument("--warmup", type=int, default=1000)
+    run.add_argument("--measure", type=int, default=2000)
+    run.add_argument("--drain", type=int, default=5000)
+    run.add_argument("--hotspot-rate", type=float, default=0.1)
+    run.add_argument("--background-rate", type=float, default=0.3)
+    run.add_argument("--footprint-vc-limit", type=int, default=None)
+    run.add_argument("--seed", type=int, default=1)
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate one of the paper's figures/tables"
+    )
+    experiment.add_argument(
+        "figure",
+        choices=[
+            "fig2",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "table1",
+            "cost",
+        ],
+    )
+    experiment.add_argument(
+        "--scale", choices=["smoke", "bench", "paper"], default="bench"
+    )
+    experiment.add_argument("--seed", type=int, default=1)
+
+    sub.add_parser("list", help="list routing algorithms and traffic patterns")
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = SimulationConfig(
+        width=args.width,
+        height=args.height,
+        num_vcs=args.vcs,
+        vc_buffer_depth=args.buffer_depth,
+        routing=args.routing,
+        traffic=args.traffic,
+        injection_rate=args.injection_rate,
+        packet_size=args.packet_size,
+        packet_size_range=(
+            tuple(args.packet_size_range)
+            if args.packet_size_range is not None
+            else None
+        ),
+        warmup_cycles=args.warmup,
+        measure_cycles=args.measure,
+        drain_cycles=args.drain,
+        hotspot_rate=args.hotspot_rate,
+        background_rate=args.background_rate,
+        footprint_vc_limit=args.footprint_vc_limit,
+        seed=args.seed,
+    )
+    result = run_simulation(config, verbose=False)
+    print(f"configuration : {config.describe()}")
+    print(f"cycles run    : {result.cycles_run}")
+    if result.latency.count:
+        print(f"avg latency   : {result.avg_latency:.2f} cycles")
+        print(f"p99 latency   : {result.latency.percentile(99):.0f} cycles")
+    else:
+        print("avg latency   : n/a (no measured packets delivered)")
+    print(f"accepted rate : {result.accepted_rate:.4f} flits/node/cycle")
+    print(f"offered rate  : {result.offered_rate:.4f} flits/node/cycle")
+    print(f"drained       : {'yes' if result.drained else 'no'}")
+    if result.blocking.blocking_events:
+        print(f"block purity  : {result.blocking.purity:.3f}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    scale = {"smoke": exp.SMOKE, "bench": exp.BENCH, "paper": exp.PAPER}[
+        args.scale
+    ]
+    figure = args.figure
+    if figure == "fig2":
+        results = [
+            exp.fig2_congestion_tree(r)
+            for r in ("dor", "dbar", "dor+xordet", "footprint")
+        ]
+        print(reporting.report_fig2(results))
+    elif figure == "fig5":
+        print(
+            reporting.report_fig5(
+                exp.fig5_latency_throughput(scale, seed=args.seed),
+                "Fig. 5 — single-flit packets",
+            )
+        )
+    elif figure == "fig6":
+        print(
+            reporting.report_fig5(
+                exp.fig6_variable_packet_size(scale, seed=args.seed),
+                "Fig. 6 — {1..6}-flit packets",
+            )
+        )
+    elif figure == "fig7":
+        for pattern in exp.FIG5_PATTERNS:
+            print(
+                reporting.report_fig7(
+                    exp.fig7_vc_sweep(scale, pattern, seed=args.seed), pattern
+                )
+            )
+            print()
+    elif figure == "fig8":
+        print(reporting.report_fig8(exp.fig8_network_size(scale, seed=args.seed)))
+    elif figure == "fig9":
+        print(reporting.report_fig9(exp.fig9_hotspot(scale, seed=args.seed)))
+    elif figure == "fig10":
+        print(reporting.report_fig10(exp.fig10_parsec(scale, seed=args.seed)))
+    elif figure == "table1":
+        print(reporting.report_table1(exp.table1_adaptiveness()))
+    elif figure == "cost":
+        print(reporting.report_cost(exp.cost_table()))
+    return 0
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("routing algorithms:")
+    for name in available_algorithms():
+        print(f"  {name}")
+    print("traffic patterns:")
+    for name in sorted(PATTERNS):
+        print(f"  {name}")
+    print("  hotspot")
+    print("  trace")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "run": _cmd_run,
+        "experiment": _cmd_experiment,
+        "list": _cmd_list,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

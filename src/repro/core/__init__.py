@@ -1,0 +1,25 @@
+"""Analyses of the paper's contribution: two-level adaptiveness metrics,
+congestion-tree extraction, blocking purity, and the implementation-cost
+model."""
+
+from repro.core.adaptiveness import (
+    port_adaptiveness,
+    vc_adaptiveness,
+    mean_port_adaptiveness,
+    qualitative_comparison,
+)
+from repro.core.congestion import CongestionTree, extract_congestion_tree
+from repro.core.cost import CostModel
+from repro.core.purity import purity_of_blocking, hol_blocking_degree
+
+__all__ = [
+    "port_adaptiveness",
+    "vc_adaptiveness",
+    "mean_port_adaptiveness",
+    "qualitative_comparison",
+    "CongestionTree",
+    "extract_congestion_tree",
+    "CostModel",
+    "purity_of_blocking",
+    "hol_blocking_degree",
+]

@@ -1,0 +1,67 @@
+"""Implementation-cost model of Footprint routing (paper §4.4).
+
+Footprint needs only local router state:
+
+* per output port, a register counting idle VCs — ``ceil(log2(V + 1))``
+  bits (the paper quotes ``log2(num_of_vcs)``, i.e. the same magnitude);
+* per downstream VC, an *owner* register holding the destination of the
+  packet currently occupying it — ``ceil(log2(N))`` bits for an N-node
+  network.
+
+For the paper's example — an 8x8 mesh (N = 64, so 6-bit owners) with
+16 VCs — the owner table costs ``16 x 6 = 96`` bits; adding two state bits
+per VC (idle / allocated / draining, the states the owner entry must be
+qualified by) and the ``log2(V)``-bit idle counter gives
+``96 + 32 + 4 = 132`` bits per port, the figure the paper reports.  The
+footprint-VC count needed by port selection is derived combinationally
+from the owner table and costs no storage.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Storage cost of Footprint state for one router port."""
+
+    num_nodes: int
+    num_vcs: int
+
+    @property
+    def owner_bits_per_vc(self) -> int:
+        """log2(N)-bit destination-owner register per VC."""
+        return max(1, math.ceil(math.log2(self.num_nodes)))
+
+    @property
+    def owner_table_bits(self) -> int:
+        return self.num_vcs * self.owner_bits_per_vc
+
+    @property
+    def state_bits(self) -> int:
+        """Two state bits per VC (idle / allocated / draining) qualifying
+        the owner entry."""
+        return 2 * self.num_vcs
+
+    @property
+    def idle_counter_bits(self) -> int:
+        """Idle-VC counter per port (the paper's log2(V)-bit register)."""
+        return max(1, math.ceil(math.log2(self.num_vcs)))
+
+    @property
+    def total_bits_per_port(self) -> int:
+        return self.owner_table_bits + self.state_bits + self.idle_counter_bits
+
+    def overhead_vs_flit_buffer(self, flit_bits: int = 128) -> float:
+        """Storage overhead expressed in flit-buffer entries (paper: ~1)."""
+        return self.total_bits_per_port / flit_bits
+
+    def describe(self) -> str:
+        return (
+            f"CostModel(N={self.num_nodes}, V={self.num_vcs}): "
+            f"owners {self.owner_table_bits}b + state {self.state_bits}b + "
+            f"idle counter {self.idle_counter_bits}b "
+            f"= {self.total_bits_per_port} bits/port"
+        )

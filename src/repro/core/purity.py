@@ -1,0 +1,33 @@
+"""Purity-of-blocking metrics (paper §4.3, Fig. 10 b-c).
+
+*Purity of blocking* is the ratio of footprint VCs to all busy VCs observed
+when VC allocation fails for a packet; the higher the purity, the less
+head-of-line blocking the busy VCs can inflict (they already carry traffic
+to the same destination).  The *HoL-blocking degree* multiplies the
+impurity by the number of blocking events.
+
+The raw counters are collected inside the routers
+(:class:`repro.router.router.BlockingStats`); these helpers expose the
+paper's derived quantities from a finished run.
+"""
+
+from __future__ import annotations
+
+from repro.sim.results import SimulationResult
+
+
+def purity_of_blocking(result: SimulationResult) -> float:
+    """Footprint-VC share of busy VCs sampled at blocking events."""
+    return result.blocking.purity
+
+
+def hol_blocking_degree(result: SimulationResult) -> float:
+    """(1 - purity) x number of blocking events."""
+    return result.blocking.hol_degree
+
+
+def blocking_rate(result: SimulationResult) -> float:
+    """Blocking events per simulated cycle (auxiliary diagnostic)."""
+    if result.cycles_run == 0:
+        return 0.0
+    return result.blocking.blocking_events / result.cycles_run

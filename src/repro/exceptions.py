@@ -1,0 +1,39 @@
+"""Exception hierarchy for the Footprint NoC reproduction.
+
+All exceptions raised by this package derive from :class:`ReproError` so
+callers can catch package-level failures with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError):
+    """A :class:`~repro.sim.config.SimulationConfig` is invalid or inconsistent."""
+
+
+class TopologyError(ReproError):
+    """A topology query was invalid (unknown node, port, or channel)."""
+
+
+class RoutingError(ReproError):
+    """A routing algorithm produced or received an illegal routing state."""
+
+
+class FlowControlError(ReproError):
+    """A flow-control invariant was violated (credit under/overflow, buffer overflow)."""
+
+
+class AllocationError(ReproError):
+    """A VC or switch allocation invariant was violated."""
+
+
+class TrafficError(ReproError):
+    """A traffic pattern or trace was invalid for the requested network."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine reached an inconsistent state."""

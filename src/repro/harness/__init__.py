@@ -1,0 +1,33 @@
+"""Experiment harness: per-figure drivers and textual reporting."""
+
+from repro.harness.experiments import (
+    Scale,
+    SMOKE,
+    BENCH,
+    PAPER,
+    fig2_congestion_tree,
+    fig5_latency_throughput,
+    fig6_variable_packet_size,
+    fig7_vc_sweep,
+    fig8_network_size,
+    fig9_hotspot,
+    fig10_parsec,
+    table1_adaptiveness,
+    cost_table,
+)
+
+__all__ = [
+    "Scale",
+    "SMOKE",
+    "BENCH",
+    "PAPER",
+    "fig2_congestion_tree",
+    "fig5_latency_throughput",
+    "fig6_variable_packet_size",
+    "fig7_vc_sweep",
+    "fig8_network_size",
+    "fig9_hotspot",
+    "fig10_parsec",
+    "table1_adaptiveness",
+    "cost_table",
+]

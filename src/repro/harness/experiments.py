@@ -1,0 +1,446 @@
+"""Per-figure experiment drivers.
+
+Each function regenerates the data behind one figure or table of the
+paper.  All drivers take a :class:`Scale` that controls simulated cycles
+and sweep density, so the same code serves three purposes:
+
+* ``SMOKE`` — integration tests (seconds);
+* ``BENCH`` — the benchmark suite (minutes per figure), the default;
+* ``PAPER`` — full-scale runs approximating the paper's own settings.
+
+The environment variable ``REPRO_SCALE`` (``smoke``/``bench``/``paper``)
+overrides the scale used by the benchmark suite.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.core.adaptiveness import qualitative_comparison
+from repro.core.congestion import CongestionTree, extract_congestion_tree
+from repro.core.cost import CostModel
+from repro.metrics.curves import LatencyThroughputCurve
+from repro.metrics.sweep import SweepPoint, run_point
+from repro.routing.registry import create_routing
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import Simulator
+from repro.sim.results import SimulationResult
+from repro.topology.mesh import Mesh2D
+from repro.traffic.parsecgen import generate_parsec_trace, merge_traces
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Cycle counts and sweep densities for the experiment drivers."""
+
+    name: str
+    width: int = 8
+    num_vcs: int = 10
+    warmup: int = 100
+    measure: int = 200
+    drain: int = 450
+    rates: tuple[float, ...] = (0.1, 0.3, 0.45, 0.55)
+    hotspot_rates: tuple[float, ...] = (0.15, 0.3, 0.45, 0.6)
+    vc_counts: tuple[int, ...] = (2, 4, 8, 16)
+    trace_cycles: int = 1200
+
+    def config(self, **overrides) -> SimulationConfig:
+        base = dict(
+            width=self.width,
+            num_vcs=self.num_vcs,
+            warmup_cycles=self.warmup,
+            measure_cycles=self.measure,
+            drain_cycles=self.drain,
+        )
+        base.update(overrides)
+        return SimulationConfig(**base)
+
+
+SMOKE = Scale(
+    name="smoke",
+    width=4,
+    num_vcs=4,
+    warmup=80,
+    measure=150,
+    drain=400,
+    rates=(0.1, 0.35),
+    hotspot_rates=(0.2, 0.5),
+    vc_counts=(2, 4),
+    trace_cycles=400,
+)
+
+BENCH = Scale(name="bench")
+
+PAPER = Scale(
+    name="paper",
+    warmup=1000,
+    measure=2000,
+    drain=10000,
+    rates=(0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45, 0.5, 0.55, 0.6),
+    hotspot_rates=(0.1, 0.2, 0.3, 0.35, 0.4, 0.45, 0.5, 0.55, 0.6),
+    vc_counts=(2, 4, 8, 16),
+    trace_cycles=20000,
+)
+
+_SCALES = {"smoke": SMOKE, "bench": BENCH, "paper": PAPER}
+
+
+def scale_from_env(default: Scale = BENCH) -> Scale:
+    """Scale selected by the ``REPRO_SCALE`` environment variable."""
+    name = os.environ.get("REPRO_SCALE", "").strip().lower()
+    return _SCALES.get(name, default)
+
+
+#: Algorithms compared in Figs. 5-6 (the paper's full roster).
+FIG5_ALGORITHMS = (
+    "dor",
+    "oddeven",
+    "dbar",
+    "footprint",
+    "dor+xordet",
+    "oddeven+xordet",
+    "dbar+xordet",
+)
+
+FIG5_PATTERNS = ("uniform", "transpose", "shuffle")
+
+
+# ----------------------------------------------------------------------
+# Fig. 2 — congestion-tree case study
+# ----------------------------------------------------------------------
+@dataclass
+class Fig2Result:
+    """Congestion trees of the Fig. 2 permutation under each algorithm."""
+
+    routing: str
+    network_tree: CongestionTree
+    endpoint_tree: CongestionTree
+
+
+def fig2_congestion_tree(
+    routing: str, cycles: int = 400, seed: int = 3
+) -> Fig2Result:
+    """Reproduce the Fig. 2 case study: a 4x4 mesh, 4 VCs, four flows.
+
+    Flows f1..f4 (``n0->n10, n1->n15, n4->n13, n12->n13``) create network
+    congestion on link n1->n2 under DOR and endpoint congestion at n13.
+    The function runs the permutation at a rate that oversubscribes n13
+    and returns the congestion trees of the network-congested destination
+    (n10) and the endpoint-congested destination (n13).
+    """
+    from repro.traffic.trace import TraceEvent
+    from repro.traffic.patterns import TrafficGenerator
+    from repro.router.flit import Packet
+
+    flows = [(0, 10), (1, 15), (4, 13), (12, 13)]
+
+    class _Fig2Traffic(TrafficGenerator):
+        def generate(self, cycle: int, measured: bool):
+            # Persistent flows at 0.9 flits/node/cycle: n13 receives 1.8x
+            # its ejection bandwidth and a congestion tree must form.
+            out = []
+            for src, dst in flows:
+                if cycle % 10 != 9:
+                    out.append(
+                        Packet(
+                            src=src,
+                            dst=dst,
+                            size=1,
+                            creation_time=cycle,
+                            flow=f"f{src}",
+                            measured=False,
+                        )
+                    )
+            return out
+
+    config = SimulationConfig(
+        width=4,
+        num_vcs=4,
+        routing=routing,
+        traffic="uniform",  # replaced by the custom generator below
+        injection_rate=0.0,
+        warmup_cycles=0,
+        measure_cycles=cycles,
+        drain_cycles=0,
+        seed=seed,
+    )
+    sim = Simulator(config, traffic=_Fig2Traffic())
+    for _ in range(cycles):
+        sim.step()
+    return Fig2Result(
+        routing=routing,
+        network_tree=extract_congestion_tree(sim, 10, include_local=False),
+        endpoint_tree=extract_congestion_tree(sim, 13, include_local=False),
+    )
+
+
+# ----------------------------------------------------------------------
+# Figs. 5-6 — latency-throughput curves
+# ----------------------------------------------------------------------
+def latency_throughput_curves(
+    scale: Scale,
+    algorithms: tuple[str, ...],
+    pattern: str,
+    packet_size_range: tuple[int, int] | None = None,
+    seed: int = 1,
+) -> list[LatencyThroughputCurve]:
+    """One latency-throughput curve per algorithm for ``pattern``."""
+    curves = []
+    for algorithm in algorithms:
+        config = scale.config(
+            routing=algorithm,
+            traffic=pattern,
+            packet_size_range=packet_size_range,
+            seed=seed,
+        )
+        curve = LatencyThroughputCurve(label=algorithm)
+        for rate in scale.rates:
+            curve.add(run_point(config, rate))
+        curves.append(curve)
+    return curves
+
+
+def fig5_latency_throughput(
+    scale: Scale,
+    patterns: tuple[str, ...] = FIG5_PATTERNS,
+    algorithms: tuple[str, ...] = FIG5_ALGORITHMS,
+    seed: int = 1,
+) -> dict[str, list[LatencyThroughputCurve]]:
+    """Fig. 5: single-flit latency-throughput for every algorithm."""
+    return {
+        p: latency_throughput_curves(scale, algorithms, p, seed=seed)
+        for p in patterns
+    }
+
+
+def fig6_variable_packet_size(
+    scale: Scale,
+    patterns: tuple[str, ...] = FIG5_PATTERNS,
+    algorithms: tuple[str, ...] = FIG5_ALGORITHMS,
+    seed: int = 1,
+) -> dict[str, list[LatencyThroughputCurve]]:
+    """Fig. 6: {1..6}-flit uniformly distributed packet sizes."""
+    return {
+        p: latency_throughput_curves(
+            scale, algorithms, p, packet_size_range=(1, 6), seed=seed
+        )
+        for p in patterns
+    }
+
+
+# ----------------------------------------------------------------------
+# Fig. 7 — VC-count sweep (DBAR vs Footprint)
+# ----------------------------------------------------------------------
+def fig7_vc_sweep(
+    scale: Scale,
+    pattern: str,
+    vc_counts: tuple[int, ...] | None = None,
+    seed: int = 1,
+) -> dict[int, list[LatencyThroughputCurve]]:
+    """Fig. 7: DBAR vs Footprint as the number of VCs varies."""
+    counts = vc_counts if vc_counts is not None else scale.vc_counts
+    out: dict[int, list[LatencyThroughputCurve]] = {}
+    for vcs in counts:
+        curves = []
+        for algorithm in ("dbar", "footprint"):
+            config = scale.config(
+                routing=algorithm, traffic=pattern, num_vcs=vcs, seed=seed
+            )
+            curve = LatencyThroughputCurve(label=f"{algorithm}/{vcs}vc")
+            for rate in scale.rates:
+                curve.add(run_point(config, rate))
+            curves.append(curve)
+        out[vcs] = curves
+    return out
+
+
+# ----------------------------------------------------------------------
+# Fig. 8 — network-size scaling
+# ----------------------------------------------------------------------
+@dataclass
+class Fig8Result:
+    """Saturation throughput of DBAR normalized to Footprint per size."""
+
+    pattern: str
+    width: int
+    dbar_saturation: float
+    footprint_saturation: float
+
+    @property
+    def dbar_normalized(self) -> float:
+        if self.footprint_saturation == 0:
+            return float("nan")
+        return self.dbar_saturation / self.footprint_saturation
+
+
+def _saturation_from_curve(
+    curve: LatencyThroughputCurve, zero_load: float
+) -> float:
+    return curve.saturation_rate(zero_load)
+
+
+def fig8_network_size(
+    scale: Scale,
+    widths: tuple[int, ...] = (4, 8, 16),
+    patterns: tuple[str, ...] = FIG5_PATTERNS,
+    seed: int = 1,
+) -> list[Fig8Result]:
+    """Fig. 8: DBAR throughput normalized to Footprint across mesh sizes."""
+    results = []
+    for pattern in patterns:
+        for width in widths:
+            saturations = {}
+            for algorithm in ("dbar", "footprint"):
+                config = scale.config(
+                    routing=algorithm, traffic=pattern, width=width, seed=seed
+                )
+                zero = run_point(config, min(scale.rates)).avg_latency
+                curve = LatencyThroughputCurve(label=algorithm)
+                for rate in scale.rates:
+                    curve.add(run_point(config, rate))
+                saturations[algorithm] = _saturation_from_curve(curve, zero)
+            results.append(
+                Fig8Result(
+                    pattern=pattern,
+                    width=width,
+                    dbar_saturation=saturations["dbar"],
+                    footprint_saturation=saturations["footprint"],
+                )
+            )
+    return results
+
+
+# ----------------------------------------------------------------------
+# Fig. 9 — hotspot traffic
+# ----------------------------------------------------------------------
+def fig9_hotspot(
+    scale: Scale,
+    algorithms: tuple[str, ...] = ("dbar", "footprint"),
+    seed: int = 1,
+) -> dict[str, list[tuple[float, float, bool]]]:
+    """Fig. 9: background latency vs hotspot injection rate.
+
+    Background traffic runs at a constant 0.3; hotspot flows sweep their
+    rate.  Returns, per algorithm, ``(hotspot_rate, background_latency,
+    drained)`` tuples; the paper's claim is that DBAR's background latency
+    collapses at a much lower hotspot rate than Footprint's.
+    """
+    out: dict[str, list[tuple[float, float, bool]]] = {}
+    for algorithm in algorithms:
+        series = []
+        for rate in scale.hotspot_rates:
+            config = scale.config(
+                routing=algorithm,
+                traffic="hotspot",
+                hotspot_rate=rate,
+                background_rate=0.3,
+                seed=seed,
+            )
+            result = Simulator(config).run()
+            series.append(
+                (rate, result.flow_latency("background"), result.drained)
+            )
+        out[algorithm] = series
+    return out
+
+
+# ----------------------------------------------------------------------
+# Fig. 10 — PARSEC-like traces
+# ----------------------------------------------------------------------
+@dataclass
+class Fig10Entry:
+    """One workload pair's comparison (Fig. 10a-c)."""
+
+    workloads: tuple[str, str]
+    dbar_latency: float
+    footprint_latency: float
+    dbar_purity: float
+    footprint_purity: float
+    dbar_hol_degree: float
+    footprint_hol_degree: float
+
+    @property
+    def latency_improvement(self) -> float:
+        """Fractional latency reduction of Footprint over DBAR."""
+        if self.dbar_latency == 0:
+            return 0.0
+        return (self.dbar_latency - self.footprint_latency) / self.dbar_latency
+
+
+def fig10_parsec(
+    scale: Scale,
+    pairs: tuple[tuple[str, str], ...] = (
+        ("x264", "canneal"),
+        ("fluidanimate", "bodytrack"),
+        ("fluidanimate", "x264"),
+        ("bodytrack", "canneal"),
+    ),
+    seed: int = 1,
+) -> list[Fig10Entry]:
+    """Fig. 10: DBAR vs Footprint on pairs of PARSEC-like traces."""
+    mesh = Mesh2D(scale.width)
+    entries = []
+    for pair in pairs:
+        trace = merge_traces(
+            generate_parsec_trace(
+                pair[0], mesh, scale.trace_cycles, seed=seed
+            ),
+            generate_parsec_trace(
+                pair[1], mesh, scale.trace_cycles, seed=seed + 1
+            ),
+        )
+        measured: dict[str, SimulationResult] = {}
+        for algorithm in ("dbar", "footprint"):
+            config = scale.config(
+                routing=algorithm,
+                traffic="trace",
+                trace=trace,
+                warmup_cycles=scale.trace_cycles // 10,
+                measure_cycles=scale.trace_cycles,
+                drain_cycles=scale.drain,
+                seed=seed,
+            )
+            measured[algorithm] = Simulator(config).run()
+        entries.append(
+            Fig10Entry(
+                workloads=pair,
+                dbar_latency=measured["dbar"].avg_latency,
+                footprint_latency=measured["footprint"].avg_latency,
+                dbar_purity=measured["dbar"].blocking.purity,
+                footprint_purity=measured["footprint"].blocking.purity,
+                dbar_hol_degree=measured["dbar"].blocking.hol_degree,
+                footprint_hol_degree=measured["footprint"].blocking.hol_degree,
+            )
+        )
+    return entries
+
+
+# ----------------------------------------------------------------------
+# Table 1 — qualitative comparison backed by metrics
+# ----------------------------------------------------------------------
+def table1_adaptiveness(
+    width: int = 4, num_vcs: int = 4
+) -> dict[str, dict[str, float]]:
+    """Quantitative adaptiveness behind Table 1's +/o/- entries."""
+    mesh = Mesh2D(width)
+    algorithms = {
+        name: create_routing(name)
+        for name in ("dor", "oddeven", "dbar", "footprint", "dbar+xordet")
+    }
+    return qualitative_comparison(algorithms, mesh, num_vcs)
+
+
+# ----------------------------------------------------------------------
+# §4.4 — cost model
+# ----------------------------------------------------------------------
+def cost_table(
+    configurations: tuple[tuple[int, int], ...] = (
+        (16, 4),
+        (64, 10),
+        (64, 16),
+        (256, 16),
+    )
+) -> list[CostModel]:
+    """Footprint storage cost for several (nodes, VCs) configurations."""
+    return [CostModel(n, v) for n, v in configurations]

@@ -1,0 +1,165 @@
+"""Textual rendering of experiment results.
+
+Each renderer prints the same rows/series the paper's figure plots, as an
+aligned text table, so benchmark output can be read (and diffed) without a
+plotting stack.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.harness.experiments import Fig2Result, Fig8Result, Fig10Entry
+from repro.core.cost import CostModel
+from repro.metrics.curves import LatencyThroughputCurve, render_curves, render_table
+
+
+def report_fig5(
+    results: dict[str, list[LatencyThroughputCurve]], title: str
+) -> str:
+    parts = []
+    for pattern, curves in results.items():
+        parts.append(render_curves(f"{title} — {pattern}", curves))
+    return "\n\n".join(parts)
+
+
+def report_fig7(
+    results: dict[int, list[LatencyThroughputCurve]], pattern: str
+) -> str:
+    parts = []
+    for vcs, curves in sorted(results.items()):
+        parts.append(
+            render_curves(f"Fig. 7 — {pattern}, {vcs} VCs", curves)
+        )
+    return "\n\n".join(parts)
+
+
+def report_fig8(results: list[Fig8Result]) -> str:
+    rows = [
+        [
+            r.pattern,
+            f"{r.width}x{r.width}",
+            f"{r.dbar_saturation:.3f}",
+            f"{r.footprint_saturation:.3f}",
+            f"{r.dbar_normalized:.3f}",
+        ]
+        for r in results
+    ]
+    return render_table(
+        "Fig. 8 — saturation throughput, DBAR normalized to Footprint",
+        ["pattern", "mesh", "dbar", "footprint", "dbar/footprint"],
+        rows,
+    )
+
+
+def report_fig9(results: dict[str, list[tuple[float, float, bool]]]) -> str:
+    algorithms = sorted(results)
+    rates = sorted({rate for series in results.values() for rate, _, _ in series})
+    rows = []
+    for rate in rates:
+        row = [f"{rate:.2f}"]
+        for algorithm in algorithms:
+            entry = next(
+                (e for e in results[algorithm] if e[0] == rate), None
+            )
+            if entry is None:
+                row.append("-")
+            else:
+                _, latency, drained = entry
+                text = "sat" if math.isnan(latency) else f"{latency:.1f}"
+                if not drained:
+                    text += "*"
+                row.append(text)
+        rows.append(row)
+    return render_table(
+        "Fig. 9 — background latency vs hotspot injection rate "
+        "(* = not drained)",
+        ["hotspot_rate"] + algorithms,
+        rows,
+    )
+
+
+def report_fig10(entries: list[Fig10Entry]) -> str:
+    rows = [
+        [
+            "+".join(e.workloads),
+            f"{e.dbar_latency:.1f}",
+            f"{e.footprint_latency:.1f}",
+            f"{100 * e.latency_improvement:+.1f}%",
+            f"{100 * e.dbar_purity:.1f}%",
+            f"{100 * e.footprint_purity:.1f}%",
+            f"{e.dbar_hol_degree:.0f}",
+            f"{e.footprint_hol_degree:.0f}",
+        ]
+        for e in entries
+    ]
+    return render_table(
+        "Fig. 10 — PARSEC-like trace pairs (latency, purity, HoL degree)",
+        [
+            "pair",
+            "dbar_lat",
+            "fp_lat",
+            "fp_gain",
+            "dbar_pur",
+            "fp_pur",
+            "dbar_hol",
+            "fp_hol",
+        ],
+        rows,
+    )
+
+
+def report_fig2(results: list[Fig2Result]) -> str:
+    rows = []
+    for r in results:
+        for label, tree in (
+            ("network(n10)", r.network_tree),
+            ("endpoint(n13)", r.endpoint_tree),
+        ):
+            rows.append(
+                [
+                    r.routing,
+                    label,
+                    str(tree.num_branches),
+                    str(tree.total_vcs),
+                    str(tree.max_thickness),
+                    f"{tree.mean_thickness:.2f}",
+                ]
+            )
+    return render_table(
+        "Fig. 2 — congestion-tree shape per routing algorithm",
+        ["routing", "tree", "branches", "vcs", "max_thick", "mean_thick"],
+        rows,
+    )
+
+
+def report_table1(metrics: dict[str, dict[str, float]]) -> str:
+    rows = [
+        [name, f"{m['P_adapt']:.3f}", f"{m['VC_adapt']:.3f}"]
+        for name, m in metrics.items()
+    ]
+    return render_table(
+        "Table 1 — two-level adaptiveness (quantitative backing)",
+        ["algorithm", "P_adapt", "VC_adapt"],
+        rows,
+    )
+
+
+def report_cost(models: list[CostModel]) -> str:
+    rows = [
+        [
+            str(m.num_nodes),
+            str(m.num_vcs),
+            str(m.owner_table_bits),
+            str(m.state_bits),
+            str(m.idle_counter_bits),
+            str(m.total_bits_per_port),
+            f"{m.overhead_vs_flit_buffer():.2f}",
+        ]
+        for m in models
+    ]
+    return render_table(
+        "§4.4 — Footprint storage cost per port",
+        ["nodes", "vcs", "owner_b", "state_b", "idle_b", "total_b", "flits"],
+        rows,
+    )

@@ -1,0 +1,26 @@
+"""Single-simulation runner with optional progress output."""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import Simulator
+from repro.sim.results import SimulationResult
+
+
+def run_simulation(
+    config: SimulationConfig, verbose: bool = False
+) -> SimulationResult:
+    """Run one simulation, optionally echoing a one-line summary."""
+    start = time.perf_counter()
+    result = Simulator(config).run()
+    if verbose:
+        elapsed = time.perf_counter() - start
+        print(
+            f"{result.summary()}  [{result.cycles_run} cycles, "
+            f"{elapsed:.1f}s]",
+            file=sys.stderr,
+        )
+    return result

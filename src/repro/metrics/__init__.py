@@ -1,0 +1,13 @@
+"""Measurement utilities: streaming statistics, sweeps, and curves."""
+
+from repro.metrics.stats import LatencyStats
+from repro.metrics.sweep import SweepPoint, injection_sweep, saturation_throughput
+from repro.metrics.curves import LatencyThroughputCurve
+
+__all__ = [
+    "LatencyStats",
+    "SweepPoint",
+    "injection_sweep",
+    "saturation_throughput",
+    "LatencyThroughputCurve",
+]

@@ -1,0 +1,72 @@
+"""Latency-throughput curve containers and textual rendering.
+
+The benchmark harness prints each figure as an aligned text table — the
+same rows/series the paper plots — so results can be inspected and diffed
+without a plotting stack.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.metrics.sweep import SweepPoint
+
+
+@dataclass
+class LatencyThroughputCurve:
+    """One labelled latency-throughput series."""
+
+    label: str
+    points: list[SweepPoint] = field(default_factory=list)
+
+    def add(self, point: SweepPoint) -> None:
+        self.points.append(point)
+
+    def stable_points(self, zero_load: float) -> list[SweepPoint]:
+        return [p for p in self.points if not p.saturated_vs(zero_load)]
+
+    def saturation_rate(self, zero_load: float) -> float:
+        """Highest stable injection rate on this curve (0.0 if none)."""
+        stable = self.stable_points(zero_load)
+        if not stable:
+            return 0.0
+        return max(p.injection_rate for p in stable)
+
+
+def render_curves(
+    title: str, curves: list[LatencyThroughputCurve]
+) -> str:
+    """Render curves as an aligned table: one row per injection rate."""
+    rates = sorted({p.injection_rate for c in curves for p in c.points})
+    header = ["inj_rate"] + [c.label for c in curves]
+    widths = [max(10, len(h) + 2) for h in header]
+    lines = [title, "".join(h.rjust(w) for h, w in zip(header, widths))]
+    for rate in rates:
+        row = [f"{rate:.3f}".rjust(widths[0])]
+        for curve, width in zip(curves, widths[1:]):
+            match = next(
+                (p for p in curve.points if p.injection_rate == rate), None
+            )
+            if match is None:
+                row.append("-".rjust(width))
+            elif not match.drained or math.isnan(match.avg_latency):
+                row.append("sat".rjust(width))
+            else:
+                row.append(f"{match.avg_latency:.1f}".rjust(width))
+        lines.append("".join(row))
+    return "\n".join(lines)
+
+
+def render_table(
+    title: str, header: list[str], rows: list[list[str]]
+) -> str:
+    """Render a generic aligned text table."""
+    widths = [
+        max(len(header[i]), max((len(r[i]) for r in rows), default=0)) + 2
+        for i in range(len(header))
+    ]
+    lines = [title, "".join(h.rjust(w) for h, w in zip(header, widths))]
+    for row in rows:
+        lines.append("".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,93 @@
+"""Streaming latency statistics.
+
+Latency samples are kept as a compact histogram-backed accumulator: mean,
+min/max, and exact percentiles over the retained samples.  Sample counts in
+this simulator are modest (at most a few hundred thousand packets per run),
+so samples are retained exactly; the class still exposes only aggregate
+queries so the representation can change without touching callers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+
+class LatencyStats:
+    """Accumulates latency samples and answers aggregate queries."""
+
+    def __init__(self) -> None:
+        self._samples: list[int] = []
+        self._sum = 0
+        self._sorted = True
+
+    def add(self, value: int) -> None:
+        if value < 0:
+            raise ValueError(f"negative latency {value}")
+        self._samples.append(value)
+        self._sum += value
+        self._sorted = False
+
+    def extend(self, values: Iterable[int]) -> None:
+        for v in values:
+            self.add(v)
+
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def mean(self) -> float:
+        if not self._samples:
+            return math.nan
+        return self._sum / len(self._samples)
+
+    @property
+    def minimum(self) -> int:
+        if not self._samples:
+            raise ValueError("no samples")
+        return min(self._samples)
+
+    @property
+    def maximum(self) -> int:
+        if not self._samples:
+            raise ValueError("no samples")
+        return max(self._samples)
+
+    def percentile(self, q: float) -> float:
+        """Exact percentile ``q`` in [0, 100] (nearest-rank)."""
+        if not self._samples:
+            raise ValueError("no samples")
+        if not (0.0 <= q <= 100.0):
+            raise ValueError(f"percentile {q} outside [0, 100]")
+        self._ensure_sorted()
+        rank = max(0, math.ceil(q / 100.0 * len(self._samples)) - 1)
+        return float(self._samples[rank])
+
+    @property
+    def stddev(self) -> float:
+        n = len(self._samples)
+        if n < 2:
+            return 0.0
+        mean = self.mean
+        var = sum((s - mean) ** 2 for s in self._samples) / (n - 1)
+        return math.sqrt(var)
+
+    def _ensure_sorted(self) -> None:
+        if not self._sorted:
+            self._samples.sort()
+            self._sorted = True
+
+    def merge(self, other: "LatencyStats") -> None:
+        self._samples.extend(other._samples)
+        self._sum += other._sum
+        self._sorted = False
+
+    def __repr__(self) -> str:
+        if not self._samples:
+            return "LatencyStats(empty)"
+        return (
+            f"LatencyStats(n={self.count}, mean={self.mean:.2f}, "
+            f"p99={self.percentile(99):.0f})"
+        )

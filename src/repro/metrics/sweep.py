@@ -1,0 +1,119 @@
+"""Injection-rate sweeps and saturation-throughput measurement.
+
+The paper's latency-throughput figures sweep the offered load and plot
+mean packet latency against it; *saturation throughput* is the offered
+load at which latency diverges.  Following common BookSim practice, a
+point counts as saturated when its mean latency exceeds a multiple of the
+zero-load latency (default 3x) or the run fails to drain its measured
+packets; the saturation throughput is then refined by bisection between
+the last stable and the first saturated point.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.sim.config import SimulationConfig
+from repro.sim.results import SimulationResult
+
+#: Latency multiple over zero-load latency that defines saturation.
+SATURATION_LATENCY_FACTOR = 3.0
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of a latency-throughput curve."""
+
+    injection_rate: float
+    avg_latency: float
+    accepted_rate: float
+    drained: bool
+
+    @property
+    def saturated_vs(self) -> Callable[[float], bool]:
+        """Saturation predicate given a zero-load latency."""
+
+        def check(zero_load: float) -> bool:
+            if not self.drained:
+                return True
+            if math.isnan(self.avg_latency):
+                return True
+            return self.avg_latency > SATURATION_LATENCY_FACTOR * zero_load
+
+        return check
+
+
+def run_point(config: SimulationConfig, rate: float) -> SweepPoint:
+    """Simulate one injection rate and summarize it."""
+    # Imported here: the engine itself uses repro.metrics for its
+    # statistics, so a module-level import would be circular.
+    from repro.sim.engine import Simulator
+
+    result = Simulator(config.with_(injection_rate=rate)).run()
+    return _to_point(result, rate)
+
+
+def _to_point(result: SimulationResult, rate: float) -> SweepPoint:
+    return SweepPoint(
+        injection_rate=rate,
+        avg_latency=result.avg_latency,
+        accepted_rate=result.accepted_rate,
+        drained=result.drained,
+    )
+
+
+def injection_sweep(
+    config: SimulationConfig, rates: list[float]
+) -> list[SweepPoint]:
+    """Simulate every rate in ``rates`` (ascending recommended)."""
+    return [run_point(config, r) for r in rates]
+
+
+def zero_load_latency(config: SimulationConfig, rate: float = 0.005) -> float:
+    """Mean latency at a near-zero offered load."""
+    point = run_point(config, rate)
+    return point.avg_latency
+
+
+def saturation_throughput(
+    config: SimulationConfig,
+    start: float = 0.05,
+    stop: float = 1.0,
+    coarse_step: float = 0.05,
+    refine_steps: int = 3,
+    zero_load: float | None = None,
+) -> float:
+    """Find the saturation throughput by coarse scan plus bisection.
+
+    Returns the highest offered load (flits/node/cycle) that is still
+    stable.  ``zero_load`` may be supplied to avoid re-measuring it.
+    """
+    if zero_load is None:
+        zero_load = zero_load_latency(config)
+    if math.isnan(zero_load):
+        raise ValueError("zero-load run produced no packets; raise the rate")
+
+    last_stable = 0.0
+    first_saturated = None
+    rate = start
+    while rate <= stop + 1e-9:
+        point = run_point(config, rate)
+        if point.saturated_vs(zero_load):
+            first_saturated = rate
+            break
+        last_stable = rate
+        rate = round(rate + coarse_step, 10)
+    if first_saturated is None:
+        return last_stable
+
+    lo, hi = last_stable, first_saturated
+    for _ in range(refine_steps):
+        mid = (lo + hi) / 2.0
+        point = run_point(config, mid)
+        if point.saturated_vs(zero_load):
+            hi = mid
+        else:
+            lo = mid
+    return lo

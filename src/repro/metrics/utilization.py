@@ -1,0 +1,81 @@
+"""Per-channel utilization accounting and text heatmaps.
+
+The engine (optionally) counts every flit that traverses each output
+channel.  :class:`ChannelUtilization` turns those counts into utilization
+fractions and renders them as a text heatmap — a quick way to *see* where
+a congestion tree sits without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.topology.mesh import Mesh2D
+from repro.topology.ports import Direction
+
+
+@dataclass
+class ChannelUtilization:
+    """Flit counts per output channel, keyed by ``(node, direction)``."""
+
+    mesh: Mesh2D
+    cycles: int
+    counts: dict[tuple[int, Direction], int] = field(default_factory=dict)
+
+    def record(self, node: int, direction: Direction) -> None:
+        key = (node, direction)
+        self.counts[key] = self.counts.get(key, 0) + 1
+
+    def utilization(self, node: int, direction: Direction) -> float:
+        """Fraction of cycles the channel carried a flit (link rate 1)."""
+        if self.cycles == 0:
+            return 0.0
+        return self.counts.get((node, direction), 0) / self.cycles
+
+    def busiest(self, top: int = 5) -> list[tuple[int, Direction, float]]:
+        """The ``top`` most-utilized channels, descending."""
+        ranked = sorted(
+            (
+                (node, direction, self.utilization(node, direction))
+                for (node, direction) in self.counts
+            ),
+            key=lambda item: item[2],
+            reverse=True,
+        )
+        return ranked[:top]
+
+    def mean_utilization(self, include_local: bool = False) -> float:
+        """Mean utilization over all inter-router channels."""
+        channels = self.mesh.channels()
+        total = sum(self.utilization(n, d) for n, d, _ in channels)
+        count = len(channels)
+        if include_local:
+            for node in range(self.mesh.num_nodes):
+                total += self.utilization(node, Direction.LOCAL)
+            count += self.mesh.num_nodes
+        return total / count if count else 0.0
+
+    # ------------------------------------------------------------------
+    def heatmap(self, direction: Direction = Direction.EAST) -> str:
+        """Render a per-node utilization grid for one channel direction.
+
+        Each cell shows the utilization of the node's output channel in
+        ``direction`` as a percentage; edge nodes without that channel
+        show ``--``.
+        """
+        lines = [f"channel utilization heatmap ({direction.name})"]
+        for y in range(self.mesh.height):
+            cells = []
+            for x in range(self.mesh.width):
+                node = self.mesh.node_at(x, y)
+                if (
+                    direction is not Direction.LOCAL
+                    and self.mesh.neighbor(node, direction) is None
+                ):
+                    cells.append("  --")
+                else:
+                    cells.append(
+                        f"{100 * self.utilization(node, direction):4.0f}"
+                    )
+            lines.append(" ".join(cells))
+        return "\n".join(lines)

@@ -1,0 +1,6 @@
+"""Router microarchitecture: flits, buffers, allocators, and the VC router."""
+
+from repro.router.flit import Flit, Packet
+from repro.router.router import Router
+
+__all__ = ["Flit", "Packet", "Router"]

@@ -1,0 +1,88 @@
+"""Priority-based VC allocation.
+
+The paper's router uses a priority-based VC allocator (Table 2): routing
+produces VC requests tagged with the Algorithm-1 priorities, and the
+allocator grants each *free* downstream VC to its highest-priority
+requester.  Requests targeting busy VCs simply do not match this cycle —
+they are the "wait on footprint channel" requests and are recomputed every
+cycle until the VC frees.
+
+The allocator is separable, input-first:
+
+1. every requesting input VC picks its best *grantable* request — highest
+   priority first, random tie-break (so competing inputs don't all pile
+   onto the same VC, which the paper notes Footprint's prioritization
+   already de-correlates);
+2. every downstream VC picks the highest-priority input VC that selected
+   it, with round-robin fairness among equals.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.router.output import OutputPort
+from repro.router.vcstate import InputVc
+from repro.routing.requests import Priority, VcRequest
+from repro.topology.ports import Direction
+
+
+@dataclass
+class VaGrant:
+    """One VC-allocation grant produced by :func:`allocate_vcs`."""
+
+    input_vc: InputVc
+    direction: Direction
+    out_vc: int
+    priority: Priority
+
+
+def allocate_vcs(
+    requests: list[tuple[InputVc, list[VcRequest]]],
+    outputs: dict[Direction, OutputPort],
+    rng: random.Random,
+) -> list[VaGrant]:
+    """Run one cycle of separable, priority-based VC allocation.
+
+    Parameters
+    ----------
+    requests:
+        ``(input_vc, its VC requests)`` pairs for every input VC in the
+        ROUTING state this cycle.
+    outputs:
+        The router's output ports, providing ``grantable`` state.
+    rng:
+        Deterministic stream for tie-breaking.
+
+    Returns
+    -------
+    Grants; the caller applies them to input VCs and output ports.
+    """
+    # Stage 1: each input VC selects its single best grantable request.
+    selections: dict[tuple[Direction, int], list[tuple[Priority, InputVc]]] = {}
+    for input_vc, reqs in requests:
+        grantable = [
+            r for r in reqs if outputs[r.direction].grantable(r.vc)
+        ]
+        if not grantable:
+            continue
+        best_priority = max(r.priority for r in grantable)
+        best = [r for r in grantable if r.priority == best_priority]
+        choice = best[0] if len(best) == 1 else best[rng.randrange(len(best))]
+        selections.setdefault((choice.direction, choice.vc), []).append(
+            (choice.priority, input_vc)
+        )
+
+    # Stage 2: each downstream VC grants its best selecting input.
+    grants: list[VaGrant] = []
+    for (direction, vc), contenders in selections.items():
+        best_priority = max(p for p, _ in contenders)
+        finalists = [ivc for p, ivc in contenders if p == best_priority]
+        winner = (
+            finalists[0]
+            if len(finalists) == 1
+            else finalists[rng.randrange(len(finalists))]
+        )
+        grants.append(VaGrant(winner, direction, vc, best_priority))
+    return grants

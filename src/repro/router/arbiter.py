@@ -1,0 +1,46 @@
+"""Arbiters.
+
+The switch allocator uses round-robin arbitration (Table 2 of the paper);
+the same primitive breaks ties in the priority-based VC allocator.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+class RoundRobinArbiter:
+    """A round-robin arbiter over ``size`` requesters.
+
+    The grant pointer advances past the last winner, so every persistent
+    requester is served within ``size`` grants (strong fairness).
+    """
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ValueError("arbiter needs at least one requester")
+        self.size = size
+        self._pointer = 0
+
+    def grant(self, requests: Iterable[int]) -> int | None:
+        """Grant one of the requesting indices, or ``None`` if none request.
+
+        ``requests`` is an iterable of requester indices in ``[0, size)``.
+        """
+        active = set(requests)
+        if not active:
+            return None
+        for offset in range(self.size):
+            candidate = (self._pointer + offset) % self.size
+            if candidate in active:
+                self._pointer = (candidate + 1) % self.size
+                return candidate
+        return None
+
+    def rotation(self) -> Sequence[int]:
+        """Current fairness order (pointer first); used to iterate ports."""
+        return [(self._pointer + i) % self.size for i in range(self.size)]
+
+    def advance(self) -> None:
+        """Advance the pointer without granting (used per-cycle rotation)."""
+        self._pointer = (self._pointer + 1) % self.size

@@ -1,0 +1,282 @@
+"""Output-port state: downstream VC tracking, credits, and the staging FIFO.
+
+The output port is where Footprint's information lives.  For every
+downstream VC the port records:
+
+* the credit count (free flit slots in the downstream buffer),
+* whether the VC is currently *allocated* to an in-flight packet,
+* the **owner destination** of that packet — the paper's per-VC
+  ``log2(N)``-bit owner register (§4.4) that lets the router recognize
+  *footprint VCs* by comparing a packet's destination with the owner.
+
+The port also owns the output staging FIFO that models the crossbar's
+internal speedup: the switch may deliver up to ``speedup`` flits per cycle
+into the FIFO, while the link drains exactly one flit per cycle from it.
+
+VC reallocation policy (paper §4.2.1): Duato-based algorithms (DBAR,
+Footprint) free a downstream VC only once the tail flit's credit has
+returned (*atomic*); DOR and Odd-Even free it as soon as the tail flit has
+been sent (*non-atomic*), which is why they achieve higher buffer
+utilization.
+
+Implementation note: the idle-VC list and the per-destination footprint
+index are maintained incrementally — routing algorithms query them for
+every waiting packet every cycle, which makes them the hottest reads in
+the simulator.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.exceptions import AllocationError, FlowControlError
+from repro.router.flit import Flit
+from repro.topology.ports import Direction
+
+
+class OutputPort:
+    """State of one router output port and its downstream virtual channels.
+
+    Also serves as the :class:`~repro.routing.base.OutputPortView` passed to
+    routing algorithms.
+    """
+
+    def __init__(
+        self,
+        direction: Direction,
+        num_vcs: int,
+        downstream_depth: int,
+        fifo_depth: int,
+        speedup: int,
+        escape_vc: int | None,
+        atomic_realloc: bool,
+    ) -> None:
+        self.direction = direction
+        self.num_vcs = num_vcs
+        self.downstream_depth = downstream_depth
+        self.fifo_depth = fifo_depth
+        self.speedup = speedup
+        self.escape_vc = escape_vc
+        self.atomic_realloc = atomic_realloc
+
+        self.credits = [downstream_depth] * num_vcs
+        self.allocated = [False] * num_vcs
+        self.owner_dst: list[int | None] = [None] * num_vcs
+        # Tail has been sent but (atomic mode) not yet fully credited.
+        self._draining = [False] * num_vcs
+        self.fifo: deque[tuple[Flit, int]] = deque()
+        self._accepted_this_cycle = 0
+
+        self._adaptive = [v for v in range(num_vcs) if v != escape_vc]
+        # Incrementally maintained views.
+        self._idle_cache: list[int] | None = list(self._adaptive)
+        self._busy_count = 0
+        self._fp_index: dict[int, list[int]] = {}
+        self._adaptive_credits = downstream_depth * len(self._adaptive)
+        #: Bumped whenever VC grantability or ownership changes; routing
+        #: decisions are cached against it (credits do not affect which
+        #: VCs are grantable, so credit flow leaves it unchanged).
+        self.version = 0
+        #: VCs released since the last VC-allocation round.  A freed VC
+        #: keeps its last owner, and during the allocation round right
+        #: after its release a same-destination packet may reclaim it at
+        #: HIGH priority — emulating the persistent ``ADD(P, VC_fp, High)``
+        #: request of a hardware allocator winning the VC the instant it
+        #: frees.  The router clears this set after every allocation round.
+        self.fresh_released: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Routing-algorithm view (OutputPortView protocol)
+    # ------------------------------------------------------------------
+    def adaptive_vcs(self) -> list[int]:
+        """VCs a non-escape request may target (do not mutate)."""
+        return self._adaptive
+
+    def idle_vcs(self) -> list[int]:
+        """Adaptive VCs currently free for allocation (do not mutate)."""
+        cache = self._idle_cache
+        if cache is None:
+            allocated = self.allocated
+            draining = self._draining
+            cache = [
+                v
+                for v in self._adaptive
+                if not allocated[v] and not draining[v]
+            ]
+            self._idle_cache = cache
+        return cache
+
+    def footprint_vcs(self, dst: int) -> list[int]:
+        """Busy adaptive VCs owned by packets to ``dst`` (footprint VCs).
+
+        The returned list is an internal index; do not mutate.
+        """
+        return self._fp_index.get(dst, _EMPTY)
+
+    def established_idle_vcs(self) -> list[int]:
+        """Idle adaptive VCs that were already idle before this cycle's
+        releases — the idle set a hardware allocator's *held* requests were
+        computed against."""
+        if not self.fresh_released:
+            return self.idle_vcs()
+        fresh = self.fresh_released
+        return [v for v in self.idle_vcs() if v not in fresh]
+
+    def fresh_footprint_vcs(self, dst: int) -> list[int]:
+        """Freshly freed adaptive VCs whose last owner was ``dst``.
+
+        These are the VCs a waiting footprint follower wins at the instant
+        they free (its held HIGH-priority request beats the LOW requests
+        other packets held on the then-busy VC).
+        """
+        if not self.fresh_released:
+            return _EMPTY
+        owner = self.owner_dst
+        return [
+            v
+            for v in self.fresh_released
+            if v != self.escape_vc and owner[v] == dst and self.grantable(v)
+        ]
+
+    def fresh_other_vcs(self, dst: int) -> list[int]:
+        """Freshly freed adaptive VCs last owned by other destinations."""
+        if not self.fresh_released:
+            return _EMPTY
+        owner = self.owner_dst
+        return [
+            v
+            for v in self.fresh_released
+            if v != self.escape_vc and owner[v] != dst and self.grantable(v)
+        ]
+
+    def clear_fresh(self) -> None:
+        """Forget this round's releases (called after each VA round)."""
+        if self.fresh_released:
+            self.fresh_released.clear()
+            # Requests computed against the fresh set are now stale.
+            self.version += 1
+
+    def busy_vcs(self) -> list[int]:
+        """All busy adaptive VCs regardless of owner."""
+        allocated = self.allocated
+        draining = self._draining
+        return [
+            v for v in self._adaptive if allocated[v] or draining[v]
+        ]
+
+    def free_credit_total(self) -> int:
+        """Total free downstream slots across adaptive VCs (DBAR signal)."""
+        return self._adaptive_credits
+
+    # ------------------------------------------------------------------
+    # VC allocation interface
+    # ------------------------------------------------------------------
+    def grantable(self, vc: int) -> bool:
+        """Whether downstream VC ``vc`` may be allocated to a new packet."""
+        return not self.allocated[vc] and not self._draining[vc]
+
+    def allocate(self, vc: int, dst: int) -> None:
+        """Bind downstream VC ``vc`` to a packet destined to ``dst``."""
+        if not self.grantable(vc):
+            raise AllocationError(
+                f"double allocation of {self.direction.name} VC {vc}"
+            )
+        self.allocated[vc] = True
+        self.owner_dst[vc] = dst
+        self.version += 1
+        self.fresh_released.discard(vc)
+        if vc != self.escape_vc:
+            self._idle_cache = None
+            self._busy_count += 1
+            self._fp_index.setdefault(dst, []).append(vc)
+
+    def _release(self, vc: int) -> None:
+        dst = self.owner_dst[vc]
+        self.allocated[vc] = False
+        self._draining[vc] = False
+        self.version += 1
+        # The owner is deliberately left stale until the next allocation
+        # and the VC is marked freshly released; see fresh_footprint_vcs().
+        self.fresh_released.add(vc)
+        if vc != self.escape_vc:
+            self._idle_cache = None
+            self._busy_count -= 1
+            owners = self._fp_index.get(dst)
+            if owners is not None:
+                owners.remove(vc)
+                if not owners:
+                    del self._fp_index[dst]
+
+    # ------------------------------------------------------------------
+    # Switch / link traversal
+    # ------------------------------------------------------------------
+    def accept_capacity(self) -> int:
+        """Flits the switch may still deliver to this port this cycle."""
+        space = self.fifo_depth - len(self.fifo)
+        remaining = self.speedup - self._accepted_this_cycle
+        return max(0, min(remaining, space))
+
+    def can_send(self, vc: int) -> bool:
+        """Whether a flit on ``vc`` can traverse the switch right now."""
+        return self.credits[vc] > 0 and self.accept_capacity() > 0
+
+    def send(self, flit: Flit, vc: int) -> None:
+        """Commit a flit to the staging FIFO, consuming a downstream credit."""
+        if self.credits[vc] <= 0:
+            raise FlowControlError(
+                f"credit underflow on {self.direction.name} VC {vc}"
+            )
+        if self.accept_capacity() <= 0:
+            raise FlowControlError(
+                f"output FIFO overflow on {self.direction.name}"
+            )
+        self.credits[vc] -= 1
+        if vc != self.escape_vc:
+            self._adaptive_credits -= 1
+        self.fifo.append((flit, vc))
+        self._accepted_this_cycle += 1
+        if flit.is_tail:
+            if self.atomic_realloc:
+                # Keep the VC reserved (and its owner visible as a
+                # footprint) until all credits return.
+                self.allocated[vc] = False
+                self._draining[vc] = True
+                self._check_drained(vc)
+            else:
+                self._release(vc)
+
+    def pop_link(self) -> tuple[Flit, int] | None:
+        """Pop one flit onto the link (one per cycle); ``None`` if empty."""
+        if not self.fifo:
+            return None
+        return self.fifo.popleft()
+
+    def credit_return(self, vc: int) -> None:
+        """A downstream buffer slot freed; finish atomic drains if complete."""
+        self.credits[vc] += 1
+        if self.credits[vc] > self.downstream_depth:
+            raise FlowControlError(
+                f"credit overflow on {self.direction.name} VC {vc}"
+            )
+        if vc != self.escape_vc:
+            self._adaptive_credits += 1
+        if self._draining[vc]:
+            self._check_drained(vc)
+
+    def _check_drained(self, vc: int) -> None:
+        if self.credits[vc] == self.downstream_depth:
+            self._release(vc)
+
+    def new_cycle(self) -> None:
+        """Reset the per-cycle switch acceptance counter."""
+        self._accepted_this_cycle = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"OutputPort({self.direction.name}, busy={sum(self.allocated)}/"
+            f"{self.num_vcs}, fifo={len(self.fifo)})"
+        )
+
+
+#: Shared empty list returned for destinations with no footprint VCs.
+_EMPTY: list[int] = []

@@ -1,0 +1,327 @@
+"""The input-queued virtual-channel router.
+
+Per-cycle pipeline (invoked in this order by the engine):
+
+1. **Link traversal (LT)** — each output port pops one flit from its
+   staging FIFO onto the link; the engine delivers it to the downstream
+   router (or endpoint sink) at the start of the next cycle.
+2. **Route computation + VC allocation (RC/VA)** — every input VC in the
+   ROUTING state recomputes its VC requests through the configured routing
+   algorithm (Footprint's congestion view is dynamic, so requests are fresh
+   every cycle), then the priority-based VC allocator grants free
+   downstream VCs.
+3. **Switch allocation + switch traversal (SA/ST)** — each input port
+   forwards at most one flit per cycle; each output port accepts up to
+   ``internal_speedup`` flits into its staging FIFO, subject to downstream
+   credits.  Port service order rotates each cycle and a per-port
+   round-robin arbiter picks among the port's eligible VCs.
+
+Credits for flits popped from input buffers are handed back to the engine,
+which delivers them upstream with one cycle of latency.
+
+The router also samples the paper's §4.3 blocking metrics: whenever a
+ROUTING input VC fails to obtain a grant, the busy/footprint VC mix at its
+requested ports is accumulated so that *purity of blocking* and the HoL
+degree can be reported (Fig. 10 b, c).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.router.allocator import allocate_vcs
+from repro.router.arbiter import RoundRobinArbiter
+from repro.router.flit import Flit
+from repro.router.output import OutputPort
+from repro.router.vcstate import InputVc, VcState
+from repro.routing.base import RouteContext, RoutingAlgorithm
+from repro.routing.requests import VcRequest
+from repro.sim.config import SimulationConfig
+from repro.topology.mesh import Mesh2D
+from repro.topology.ports import Direction
+
+
+class BlockingStats:
+    """Accumulators for the purity-of-blocking analysis (paper §4.3)."""
+
+    __slots__ = ("blocking_events", "busy_vc_samples", "footprint_vc_samples")
+
+    def __init__(self) -> None:
+        self.blocking_events = 0
+        self.busy_vc_samples = 0
+        self.footprint_vc_samples = 0
+
+    @property
+    def purity(self) -> float:
+        """Ratio of footprint VCs to all busy VCs observed at blockings."""
+        if self.busy_vc_samples == 0:
+            return 0.0
+        return self.footprint_vc_samples / self.busy_vc_samples
+
+    @property
+    def hol_degree(self) -> float:
+        """Impurity times blocking count — the paper's HoL-blocking degree."""
+        return (1.0 - self.purity) * self.blocking_events
+
+    def merge(self, other: "BlockingStats") -> None:
+        self.blocking_events += other.blocking_events
+        self.busy_vc_samples += other.busy_vc_samples
+        self.footprint_vc_samples += other.footprint_vc_samples
+
+
+class Router:
+    """One mesh router."""
+
+    def __init__(
+        self,
+        node: int,
+        mesh: Mesh2D,
+        config: SimulationConfig,
+        routing: RoutingAlgorithm,
+        rng: random.Random,
+    ) -> None:
+        self.node = node
+        self.mesh = mesh
+        self.config = config
+        self.routing = routing
+        self.rng = rng
+
+        escape_vc = 0 if routing.uses_escape else None
+        ports = mesh.router_ports(node)
+        self.input_vcs: dict[Direction, list[InputVc]] = {
+            d: [
+                InputVc(d, v, config.vc_buffer_depth)
+                for v in range(config.num_vcs)
+            ]
+            for d in ports
+        }
+        self.output_ports: dict[Direction, OutputPort] = {
+            d: OutputPort(
+                direction=d,
+                num_vcs=config.num_vcs,
+                downstream_depth=config.vc_buffer_depth,
+                fifo_depth=config.output_buffer_depth,
+                speedup=config.internal_speedup,
+                # The ejection port needs no escape VC: delivery cannot
+                # deadlock, and reserving one would waste ejection
+                # bandwidth.
+                escape_vc=escape_vc if d is not Direction.LOCAL else None,
+                atomic_realloc=routing.atomic_vc_reallocation,
+            )
+            for d in ports
+        }
+        self._port_order = list(ports)
+        self._sa_port_offset = node % max(1, len(ports))
+        self._vc_arbiters: dict[Direction, RoundRobinArbiter] = {
+            d: RoundRobinArbiter(config.num_vcs) for d in ports
+        }
+        self._congestion_threshold = max(
+            1, int(config.congestion_threshold * config.num_vcs)
+        )
+        # A single reusable context object: route() is called for every
+        # waiting packet every cycle, so per-call construction is avoided.
+        self._ctx = RouteContext(
+            mesh=mesh,
+            current=node,
+            destination=node,
+            source=node,
+            input_direction=Direction.LOCAL,
+            outputs=self.output_ports,
+            num_vcs=config.num_vcs,
+            congestion_threshold=self._congestion_threshold,
+            footprint_vc_limit=config.footprint_vc_limit,
+            rng=rng,
+        )
+        # Flits currently inside the router (input FIFOs + output FIFOs);
+        # lets the engine skip completely quiescent routers.
+        self.inflight = 0
+        # Input VCs in the ROUTING state, keyed by (direction, vc index) so
+        # iteration order is deterministic (insertion order).  Maintained
+        # incrementally instead of scanning every VC every cycle.
+        self._pending: dict[tuple[int, int], InputVc] = {}
+        self.blocking = BlockingStats()
+        self._sample_blocking = False
+
+    # ------------------------------------------------------------------
+    # Engine-facing state changes
+    # ------------------------------------------------------------------
+    def receive_flit(self, direction: Direction, vc: int, flit: Flit) -> None:
+        """Deliver a flit arriving through input port ``direction``."""
+        ivc = self.input_vcs[direction][vc]
+        ivc.push(flit)
+        self.inflight += 1
+        if ivc.state is VcState.IDLE:
+            ivc.refresh_state()
+            if ivc.state is VcState.ROUTING:
+                self._pending[(direction, vc)] = ivc
+
+    def receive_credit(self, direction: Direction, vc: int) -> None:
+        """Deliver a returning credit for output port ``direction``."""
+        self.output_ports[direction].credit_return(vc)
+
+    def enable_blocking_sampling(self, enabled: bool) -> None:
+        """Toggle the purity-of-blocking instrumentation."""
+        self._sample_blocking = enabled
+
+    # ------------------------------------------------------------------
+    # Pipeline stages
+    # ------------------------------------------------------------------
+    def link_traversal(self) -> list[tuple[Direction, int, Flit]]:
+        """Pop at most one flit per output port onto its link."""
+        if self.inflight == 0:
+            return []
+        sent: list[tuple[Direction, int, Flit]] = []
+        for direction, port in self.output_ports.items():
+            popped = port.pop_link()
+            if popped is not None:
+                flit, vc = popped
+                sent.append((direction, vc, flit))
+                self.inflight -= 1
+        return sent
+
+    def route_and_allocate(self) -> None:
+        """Recompute routes for waiting packets and run VC allocation."""
+        # Router-wide state version: any change in VC grantability or
+        # ownership at any output port invalidates cached VC requests.
+        # Computed before the early-outs so freshly-freed-VC information
+        # is always consumed by exactly one allocation round.
+        state_version = 0
+        for port in self.output_ports.values():
+            port.new_cycle()
+            state_version += port.version
+
+        if self.inflight == 0 or not self._pending:
+            for port in self.output_ports.values():
+                port.clear_fresh()
+            return
+
+        requests: list[tuple[InputVc, list[VcRequest]]] = []
+        for ivc in self._pending.values():
+            if ivc.route_cache_key == state_version:
+                reqs = ivc.route_cache
+            else:
+                head = ivc.front()
+                assert head is not None and head.is_head
+                ctx = self._context(ivc, head)
+                if ivc.committed_dir is None:
+                    # Route computation: runs once per packet per router;
+                    # the port choice is a commitment (BookSim RC stage).
+                    ivc.committed_dir = self.routing.select_output(ctx)
+                reqs = self.routing.vc_requests_at(ctx, ivc.committed_dir)
+                ivc.route_cache = reqs
+                ivc.route_cache_key = state_version
+            if reqs:
+                requests.append((ivc, reqs))
+
+        if requests:
+            grants = allocate_vcs(requests, self.output_ports, self.rng)
+            for grant in grants:
+                head = grant.input_vc.front()
+                assert head is not None
+                self.output_ports[grant.direction].allocate(
+                    grant.out_vc, head.dst
+                )
+                grant.input_vc.grant(grant.direction, grant.out_vc)
+                del self._pending[
+                    (grant.input_vc.direction, grant.input_vc.index)
+                ]
+
+        if self._sample_blocking and self._pending:
+            self._sample_blocked()
+
+        # This allocation round has consumed the freshly-freed-VC
+        # information; freed VCs become plain idle from the next round on.
+        for port in self.output_ports.values():
+            port.clear_fresh()
+
+    def _context(self, ivc: InputVc, head: Flit) -> RouteContext:
+        ctx = self._ctx
+        ctx.destination = head.dst
+        ctx.source = head.src
+        ctx.input_direction = ivc.direction
+        return ctx
+
+    def _sample_blocked(self) -> None:
+        """Sample busy/footprint VC mix for packets that failed allocation.
+
+        Every input VC still awaiting a grant after allocation counts as
+        one blocking event; the busy VCs at its candidate (productive)
+        output ports are classified into footprint VCs (same destination)
+        and others — the raw material of the paper's purity-of-blocking
+        analysis (§4.3).
+        """
+        blocking = self.blocking
+        for ivc in self._pending.values():
+            head = ivc.front()
+            if head is None or ivc.committed_dir is None:
+                continue
+            port = self.output_ports[ivc.committed_dir]
+            blocking.blocking_events += 1
+            blocking.busy_vc_samples += len(port.busy_vcs())
+            blocking.footprint_vc_samples += len(
+                port.footprint_vcs(head.dst)
+            )
+
+    def switch_traversal(self) -> list[tuple[Direction, int]]:
+        """Forward flits from input buffers into output staging FIFOs.
+
+        Returns the ``(input direction, vc)`` of every popped flit so the
+        engine can return the corresponding upstream credits.
+        """
+        if self.inflight == 0:
+            return []
+        credits: list[tuple[Direction, int]] = []
+        n_ports = len(self._port_order)
+        # Rotate the port service order each cycle (round-robin switch
+        # arbitration across input ports).
+        self._sa_port_offset = (self._sa_port_offset + 1) % n_ports
+        for i in range(n_ports):
+            direction = self._port_order[(self._sa_port_offset + i) % n_ports]
+            ivc = self._pick_sa_winner(direction)
+            if ivc is None:
+                continue
+            out_port = self.output_ports[ivc.out_direction]
+            out_vc = ivc.out_vc
+            assert out_vc is not None
+            flit = ivc.pop()
+            out_port.send(flit, out_vc)
+            if ivc.state is VcState.ROUTING:
+                # The tail left and the next packet's head is already
+                # queued behind it.
+                self._pending[(direction, ivc.index)] = ivc
+            credits.append((direction, ivc.index))
+        return credits
+
+    def _pick_sa_winner(self, direction: Direction) -> InputVc | None:
+        """Round-robin among the port's VCs with a sendable flit."""
+        vcs = self.input_vcs[direction]
+        arbiter = self._vc_arbiters[direction]
+        pointer = arbiter._pointer
+        n = arbiter.size
+        outputs = self.output_ports
+        active = VcState.ACTIVE
+        for offset in range(n):
+            v = pointer + offset
+            if v >= n:
+                v -= n
+            ivc = vcs[v]
+            if (
+                ivc.state is active
+                and ivc.fifo
+                and outputs[ivc.out_direction].can_send(ivc.out_vc)
+            ):
+                arbiter._pointer = v + 1 if v + 1 < n else 0
+                return ivc
+        return None
+
+    # ------------------------------------------------------------------
+    def occupancy(self) -> int:
+        """Total flits buffered in this router (inputs + output FIFOs)."""
+        total = sum(
+            len(ivc.fifo) for vcs in self.input_vcs.values() for ivc in vcs
+        )
+        total += sum(len(p.fifo) for p in self.output_ports.values())
+        return total
+
+    def __repr__(self) -> str:
+        return f"Router(n{self.node}, inflight={self.inflight})"

@@ -1,0 +1,117 @@
+"""Per-input-VC state machine.
+
+Each input VC is a flit FIFO plus the wormhole bookkeeping for the packet
+currently at its front:
+
+* ``IDLE`` — no packet in flight; if the FIFO holds a head flit the VC
+  transitions to ``ROUTING`` at the next router evaluation.
+* ``ROUTING`` — the front packet's head flit needs an output VC; routing
+  requests are recomputed every cycle (Footprint's congestion view is
+  dynamic) until the VC allocator grants one.
+* ``ACTIVE`` — an output port/VC is held; flits flow through switch
+  allocation until the tail flit leaves, which releases the input VC back
+  to ``IDLE`` (or straight to ``ROUTING`` when the next packet's head is
+  already queued behind the tail).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+
+from repro.exceptions import FlowControlError
+from repro.router.flit import Flit
+from repro.topology.ports import Direction
+
+
+class VcState(enum.Enum):
+    IDLE = "idle"
+    ROUTING = "routing"
+    ACTIVE = "active"
+
+
+class InputVc:
+    """One virtual channel of one router input port."""
+
+    def __init__(self, direction: Direction, index: int, depth: int) -> None:
+        self.direction = direction
+        self.index = index
+        self.depth = depth
+        self.fifo: deque[Flit] = deque()
+        self.state = VcState.IDLE
+        self.out_direction: Direction | None = None
+        self.out_vc: int | None = None
+        # Output port committed at route computation (RC runs once per
+        # packet per router); None until the head packet is routed.
+        self.committed_dir: Direction | None = None
+        # VC-request cache: (router state version, requests).  The router
+        # reuses the cached requests while no output-port
+        # grantability/ownership changed; cleared on grant and on packet
+        # boundaries.
+        self.route_cache_key: int = -1
+        self.route_cache: list | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def occupancy(self) -> int:
+        return len(self.fifo)
+
+    @property
+    def has_space(self) -> bool:
+        return len(self.fifo) < self.depth
+
+    def front(self) -> Flit | None:
+        return self.fifo[0] if self.fifo else None
+
+    # ------------------------------------------------------------------
+    def push(self, flit: Flit) -> None:
+        """Accept an arriving flit (upstream guaranteed space via credits)."""
+        if len(self.fifo) >= self.depth:
+            raise FlowControlError(
+                f"input VC {self.direction.name}.{self.index} overflow: "
+                f"credit protocol violated"
+            )
+        self.fifo.append(flit)
+
+    def refresh_state(self) -> None:
+        """Promote IDLE to ROUTING when a head flit reaches the front."""
+        if self.state is VcState.IDLE and self.fifo:
+            front = self.fifo[0]
+            if not front.is_head:
+                raise FlowControlError(
+                    f"non-head flit {front!r} at front of idle VC "
+                    f"{self.direction.name}.{self.index}"
+                )
+            self.state = VcState.ROUTING
+
+    def grant(self, out_direction: Direction, out_vc: int) -> None:
+        """Record a VC-allocation grant."""
+        if self.state is not VcState.ROUTING:
+            raise FlowControlError("VC grant to a non-routing input VC")
+        self.state = VcState.ACTIVE
+        self.out_direction = out_direction
+        self.out_vc = out_vc
+        self.committed_dir = None
+        self.route_cache = None
+        self.route_cache_key = -1
+
+    def pop(self) -> Flit:
+        """Remove the front flit (switch traversal); handles tail release."""
+        if not self.fifo:
+            raise FlowControlError("pop from empty input VC")
+        flit = self.fifo.popleft()
+        if flit.is_tail:
+            self.state = VcState.IDLE
+            self.out_direction = None
+            self.out_vc = None
+            self.committed_dir = None
+            self.route_cache = None
+            self.route_cache_key = -1
+            self.refresh_state()
+        return flit
+
+    def __repr__(self) -> str:
+        return (
+            f"InputVc({self.direction.name}.{self.index}, {self.state.value}, "
+            f"{len(self.fifo)}/{self.depth} flits)"
+        )

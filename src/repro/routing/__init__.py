@@ -1,0 +1,15 @@
+"""Routing algorithms: DOR, Odd-Even, DBAR, Footprint, and XORDET overlays."""
+
+from repro.routing.base import OutputPortView, RouteContext, RoutingAlgorithm
+from repro.routing.requests import Priority, VcRequest
+from repro.routing.registry import available_algorithms, create_routing
+
+__all__ = [
+    "OutputPortView",
+    "RouteContext",
+    "RoutingAlgorithm",
+    "Priority",
+    "VcRequest",
+    "available_algorithms",
+    "create_routing",
+]

@@ -1,0 +1,201 @@
+"""Routing algorithm interface.
+
+The interface mirrors a BookSim-style router pipeline:
+
+* :meth:`RoutingAlgorithm.select_output` is the *route computation* (RC)
+  stage — called **once** per packet per router when the head flit reaches
+  the front of its input VC.  The returned output port is a commitment: the
+  packet waits for a VC at that port even if another minimal port later
+  looks better.  This commit-once behaviour is what allows congestion and
+  HoL blocking to build up, and is how BookSim (the paper's substrate)
+  implements adaptive routing.
+* :meth:`RoutingAlgorithm.vc_requests_at` is the *VC allocation* request
+  generation — re-evaluated **every cycle** until the packet wins a VC,
+  because the VC states it prioritizes (idle/footprint/busy) change as the
+  network moves.  It returns :class:`VcRequest` records, the paper's
+  ``ADD(P, v, pri)`` calls.
+
+The context exposes per-output-port state through
+:class:`OutputPortView`: which downstream VCs are idle, which are
+*footprint* VCs for the packet's destination, and which are busy with
+other destinations.  Only local-router information is exposed, matching
+the paper's cost argument (§4.4): no remote congestion notification is
+available to any algorithm.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass
+from typing import Mapping, Protocol, Sequence
+
+from repro.routing.requests import Priority, VcRequest
+from repro.topology.mesh import Mesh2D
+from repro.topology.ports import Direction
+
+
+class OutputPortView(Protocol):
+    """Local state of one output port, as visible to routing algorithms.
+
+    Implemented by :class:`repro.router.output.OutputPort`; a lightweight
+    fake is used in unit tests.
+    """
+
+    num_vcs: int
+    escape_vc: int | None
+
+    def idle_vcs(self) -> Sequence[int]:
+        """Downstream VCs currently free for allocation (adaptive VCs only
+        when an escape VC is reserved)."""
+
+    def established_idle_vcs(self) -> Sequence[int]:
+        """Idle VCs that were idle before this cycle's releases."""
+
+    def footprint_vcs(self, dst: int) -> Sequence[int]:
+        """Busy adaptive VCs whose current owner packet is destined to
+        ``dst`` — the paper's footprint channels."""
+
+    def fresh_footprint_vcs(self, dst: int) -> Sequence[int]:
+        """Freshly freed VCs last owned by ``dst`` (reclaimable at HIGH)."""
+
+    def fresh_other_vcs(self, dst: int) -> Sequence[int]:
+        """Freshly freed VCs last owned by other destinations."""
+
+    def busy_vcs(self) -> Sequence[int]:
+        """All busy (allocated) adaptive VCs, regardless of owner."""
+
+    def adaptive_vcs(self) -> Sequence[int]:
+        """All VCs a non-escape request may target."""
+
+    def grantable(self, vc: int) -> bool:
+        """Whether ``vc`` can be allocated to a new packet right now."""
+
+    def free_credit_total(self) -> int:
+        """Total free downstream buffer slots across adaptive VCs (a finer
+        congestion signal used by DBAR's port selection)."""
+
+
+@dataclass
+class RouteContext:
+    """Everything a routing algorithm may look at for one decision.
+
+    Attributes
+    ----------
+    mesh:
+        Network geometry.
+    current, destination, source:
+        Current router, packet destination, packet source node ids.
+    input_direction:
+        Port through which the packet entered this router (``LOCAL`` for
+        freshly injected packets).
+    outputs:
+        View of each candidate output port, keyed by direction.  The engine
+        provides views for every port of the router; algorithms index only
+        the directions they consider.
+    num_vcs:
+        VCs per physical channel.
+    congestion_threshold:
+        Congestion threshold in VCs (already scaled by ``num_vcs``).
+    footprint_vc_limit:
+        Optional cap on footprint VCs per (port, destination); ``None``
+        means unlimited (the paper's configuration).
+    rng:
+        Deterministic stream for tie-breaking.
+    """
+
+    mesh: Mesh2D
+    current: int
+    destination: int
+    source: int
+    input_direction: Direction
+    outputs: Mapping[Direction, OutputPortView]
+    num_vcs: int
+    congestion_threshold: int
+    footprint_vc_limit: int | None
+    rng: random.Random
+
+
+class RoutingAlgorithm(abc.ABC):
+    """Base class of all routing algorithms.
+
+    Subclasses implement :meth:`select_output` (the once-per-router port
+    commitment), :meth:`vc_requests_at` (the per-cycle VC requests at the
+    committed port), and :meth:`allowed_directions` (the set of productive
+    output directions the algorithm permits — used for adaptiveness
+    metrics and turn-legality tests; it must be a superset of whatever
+    :meth:`select_output` can return).
+    """
+
+    #: Registry name, set by subclasses.
+    name: str = "base"
+    #: Whether VC0 is reserved as a Duato escape channel.
+    uses_escape: bool = False
+    #: Whether downstream VCs are reallocated atomically (only after the
+    #: tail flit's credit returns) — required by Duato-based algorithms,
+    #: see §4.2.1 of the paper.
+    atomic_vc_reallocation: bool = False
+
+    @abc.abstractmethod
+    def select_output(self, ctx: RouteContext) -> Direction:
+        """Commit to an output port (RC stage; once per packet per router).
+
+        Returns ``LOCAL`` at the destination.
+        """
+
+    @abc.abstractmethod
+    def vc_requests_at(
+        self, ctx: RouteContext, direction: Direction
+    ) -> list[VcRequest]:
+        """Per-cycle VC requests given the committed ``direction``."""
+
+    @abc.abstractmethod
+    def allowed_directions(
+        self, mesh: Mesh2D, current: int, destination: int, source: int
+    ) -> list[Direction]:
+        """Productive directions this algorithm may ever take at ``current``.
+
+        Returns ``[LOCAL]`` when ``current == destination``.
+        """
+
+    def route(self, ctx: RouteContext) -> list[VcRequest]:
+        """Select a port and produce its requests in one call.
+
+        Convenience composition used by tests and analyses; the simulator
+        itself calls the two stages separately so the port commitment can
+        be held across cycles.
+        """
+        return self.vc_requests_at(ctx, self.select_output(ctx))
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    def eject_requests(self, ctx: RouteContext) -> list[VcRequest]:
+        """Requests for delivery at the destination (LOCAL port).
+
+        Any free ejection VC is claimed at LOW priority.  Requests are
+        only emitted for currently grantable VCs: a request on a busy VC
+        can never be granted under per-cycle recomputation, so omitting it
+        is behaviourally identical and much cheaper (see
+        :mod:`repro.routing.requests`).
+        """
+        view = ctx.outputs[Direction.LOCAL]
+        return [
+            VcRequest(Direction.LOCAL, v, Priority.LOW) for v in view.idle_vcs()
+        ]
+
+    def escape_request(self, ctx: RouteContext) -> list[VcRequest]:
+        """The always-present lowest-priority escape request (line 45).
+
+        Emitted only when the escape VC is currently grantable — a busy
+        escape VC cannot be granted this cycle, and the request reappears
+        on the cycle it frees.
+        """
+        escape_dir = ctx.mesh.dor_direction(ctx.current, ctx.destination)
+        view = ctx.outputs[escape_dir]
+        if view.escape_vc is None or not view.grantable(view.escape_vc):
+            return []
+        return [VcRequest(escape_dir, view.escape_vc, Priority.LOWEST)]
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

@@ -1,0 +1,46 @@
+"""Dimension-order (XY) routing — the paper's deterministic baseline.
+
+DOR resolves the X offset completely before the Y offset, which makes it
+deadlock-free in a mesh without any dedicated escape resources, so all VCs
+are usable by every packet and there is no VC regulation at all: the
+algorithm requests every free downstream VC at equal priority.  This is
+exactly the behaviour Fig. 2(a) of the paper illustrates — congestion
+saturates all VCs of the single permitted path.
+"""
+
+from __future__ import annotations
+
+from repro.routing.base import RouteContext, RoutingAlgorithm
+from repro.routing.requests import Priority, VcRequest
+from repro.topology.mesh import Mesh2D
+from repro.topology.ports import Direction
+
+
+class DorRouting(RoutingAlgorithm):
+    """Deterministic XY dimension-order routing."""
+
+    name = "dor"
+    uses_escape = False
+    atomic_vc_reallocation = False
+
+    def select_output(self, ctx: RouteContext) -> Direction:
+        return ctx.mesh.dor_direction(ctx.current, ctx.destination)
+
+    def vc_requests_at(
+        self, ctx: RouteContext, direction: Direction
+    ) -> list[VcRequest]:
+        if direction is Direction.LOCAL:
+            return self.eject_requests(ctx)
+        view = ctx.outputs[direction]
+        # Any free VC at equal priority; busy VCs are re-requested (i.e.
+        # become requestable) on the cycle they free.
+        return [
+            VcRequest(direction, v, Priority.LOW) for v in view.idle_vcs()
+        ]
+
+    def allowed_directions(
+        self, mesh: Mesh2D, current: int, destination: int, source: int
+    ) -> list[Direction]:
+        if current == destination:
+            return [Direction.LOCAL]
+        return [mesh.dor_direction(current, destination)]

@@ -1,0 +1,184 @@
+"""Footprint routing — the paper's primary contribution (Algorithm 1).
+
+Footprint is a Duato-based minimal fully-adaptive routing algorithm that
+*regulates* adaptiveness under congestion.  A *footprint VC* is a downstream
+VC currently occupied by a packet to the **same destination** as the packet
+being routed.  The algorithm has three steps:
+
+1. **Legal outputs** — the minimal ports ``(P_x, P_y)`` with the DOR port as
+   escape, the idle VCs and the footprint VCs of each.
+2. **Port selection** — more idle VCs wins; ties broken by more footprint
+   VCs; remaining ties broken randomly (Algorithm 1 lines 10-20).
+3. **VC requests** — three regimes by congestion level at the chosen port
+   (lines 28-43), using the threshold ``size(VC)/2``:
+
+   * not congested (``idle >= threshold``): request all adaptive VCs at LOW
+     priority — maximize buffer utilization;
+   * saturated (``idle == 0``): request only footprint VCs at HIGH priority
+     if any exist (the packet *waits on the footprint channel*), otherwise
+     all adaptive VCs at LOW;
+   * in between: idle VCs at HIGHEST, footprint VCs at HIGH, other busy
+     VCs at LOW.
+
+   The escape VC on the DOR port is always requested at LOWEST priority
+   (line 45), which preserves Duato deadlock freedom.
+
+Emulation note (see :mod:`repro.routing.requests`): this simulator's VC
+allocator recomputes requests from current state every cycle rather than
+holding them, so a request on a busy VC can never be granted and is not
+emitted.  The observable effects of Algorithm 1's busy-VC requests are
+reproduced against the *established* VC state — the state a hardware
+allocator's held requests were computed from:
+
+* the congestion regime is classified by the idle VCs that were already
+  idle before this cycle's releases (``established_idle_vcs``);
+* a VC freed this cycle keeps its last owner for exactly this allocation
+  round; a packet to the same destination re-claims it at HIGH priority
+  (its held ``ADD(P, VC_fp, High)`` winning at the freeing instant),
+  while packets to other destinations may take it only at LOW priority
+  (their held busy-VC requests) — and in the saturated regime a packet
+  whose footprint exists elsewhere does not request it at all, which is
+  precisely what keeps the congested flow from spreading to newly freed
+  VCs;
+* HIGH stays *below* HIGHEST, preserving Algorithm 1's preference for
+  established idle VCs over footprint VCs in the intermediate regime.
+
+The optional ``footprint_vc_limit`` implements the paper's §4.2.5
+future-work knob: once a destination already owns that many footprint VCs
+at a port, the packet stops claiming *new* idle VCs there and waits on its
+footprint, bounding the congestion-tree branch thickness explicitly.
+"""
+
+from __future__ import annotations
+
+from repro.routing.base import RouteContext
+from repro.routing.duato import DuatoAdaptiveRouting
+from repro.routing.requests import Priority, VcRequest
+from repro.topology.ports import Direction
+
+
+class FootprintRouting(DuatoAdaptiveRouting):
+    """The Footprint routing algorithm (Algorithm 1 of the paper)."""
+
+    name = "footprint"
+
+    def vc_requests_at(self, ctx: RouteContext, direction: Direction):
+        """Adaptive requests plus the escape request — except while the
+        packet is *waiting on a live footprint channel*.
+
+        The paper's deadlock argument (§3.4) observes that a packet
+        blocked behind footprint VCs depends, through a chain of
+        same-destination packets, only on the endpoint draining — so it
+        cannot be blocked indefinitely and does not need the escape
+        channel.  Suppressing the escape request while waiting keeps the
+        congested flow off the escape subnetwork; otherwise waiting
+        packets leak onto the DOR-routed escape VCs and rebuild exactly
+        the thick, deterministic congestion tree (Fig. 2(a)) that
+        Footprint sets out to avoid.
+        """
+        if direction is Direction.LOCAL:
+            return self.eject_requests(ctx)
+        requests = self.vc_requests(ctx, direction)
+        waiting_on_footprint = not requests and bool(
+            ctx.outputs[direction].footprint_vcs(ctx.destination)
+        )
+        if not waiting_on_footprint:
+            requests.extend(self.escape_request(ctx))
+        return requests
+
+    # ------------------------------------------------------------------
+    # Step 2: output-port selection
+    # ------------------------------------------------------------------
+    def select_port(
+        self, ctx: RouteContext, candidates: list[Direction]
+    ) -> Direction:
+        views = {d: ctx.outputs[d] for d in candidates}
+        idle = {d: len(views[d].idle_vcs()) for d in candidates}
+        best_idle = max(idle.values())
+        tied = [d for d in candidates if idle[d] == best_idle]
+        if len(tied) > 1 and best_idle < ctx.congestion_threshold:
+            # Tie on idle VCs under congestion: prefer the port with more
+            # footprint VCs (lines 14-17).  Per §3.2, "the footprint
+            # channels are only considered or chosen if the network is
+            # congested — if there is no congestion, all ports (and VCs)
+            # are equally considered", so the footprint tie-break is gated
+            # on the congestion threshold; without the gate, deterministic
+            # flows funnel onto a single port at low load and forfeit port
+            # adaptiveness.
+            fp = {
+                d: len(views[d].footprint_vcs(ctx.destination)) for d in tied
+            }
+            best_fp = max(fp.values())
+            tied = [d for d in tied if fp[d] == best_fp]
+        if len(tied) == 1:
+            return tied[0]
+        return tied[ctx.rng.randrange(len(tied))]
+
+    # ------------------------------------------------------------------
+    # Step 3: VC requests by congestion regime
+    # ------------------------------------------------------------------
+    def vc_requests(
+        self, ctx: RouteContext, direction: Direction
+    ) -> list[VcRequest]:
+        view = ctx.outputs[direction]
+        dst = ctx.destination
+        established = view.established_idle_vcs()
+        fresh_mine = view.fresh_footprint_vcs(dst)
+
+        if ctx.footprint_vc_limit is not None and (
+            len(view.footprint_vcs(dst)) >= ctx.footprint_vc_limit
+        ):
+            # §4.2.5 extension: the destination already owns its VC quota
+            # at this port — only re-claim freed footprint VCs, never new
+            # ones.
+            return [
+                VcRequest(direction, v, Priority.HIGH) for v in fresh_mine
+            ]
+
+        if len(established) >= ctx.congestion_threshold:
+            # No congestion: use all adaptive VCs at flat priority;
+            # waiting on footprint channels here would only add latency
+            # (Algorithm 1 line 31).
+            return [
+                VcRequest(direction, v, Priority.LOW)
+                for v in view.idle_vcs()
+            ]
+
+        if not established:
+            # Saturated regime (line 32: size(VC_idle) == 0 when the held
+            # requests were computed).
+            if fresh_mine:
+                # The packet's footprint VC just freed: re-claim it at
+                # HIGH (line 34's held request winning the instant the VC
+                # frees).
+                return [
+                    VcRequest(direction, v, Priority.HIGH)
+                    for v in fresh_mine
+                ]
+            if view.footprint_vcs(dst):
+                # A footprint exists and is still busy: wait on it and do
+                # NOT grab other flows' freed VCs — this is the regulation
+                # that keeps the congestion-tree branch thin.
+                return []
+            # No footprint anywhere: full adaptivity (line 37) — freed
+            # VCs of other flows are fair game at LOW.
+            return [
+                VcRequest(direction, v, Priority.LOW)
+                for v in view.fresh_other_vcs(dst)
+            ]
+
+        # Intermediate regime (lines 40-42): established idle VCs at
+        # HIGHEST, the packet's freshly freed footprint VCs at HIGH, and
+        # other flows' freshly freed VCs at LOW (the held busy-VC
+        # requests).
+        requests = [
+            VcRequest(direction, v, Priority.HIGHEST) for v in established
+        ]
+        requests.extend(
+            VcRequest(direction, v, Priority.HIGH) for v in fresh_mine
+        )
+        requests.extend(
+            VcRequest(direction, v, Priority.LOW)
+            for v in view.fresh_other_vcs(dst)
+        )
+        return requests

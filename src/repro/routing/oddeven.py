@@ -1,0 +1,107 @@
+"""Odd-Even turn-model routing (Chiu, 2000) — partially adaptive baseline.
+
+The Odd-Even turn model forbids:
+
+* Rule 1: EN turns at nodes in even columns and NW turns at nodes in odd
+  columns;
+* Rule 2: ES turns at nodes in even columns and SW turns at nodes in odd
+  columns.
+
+The resulting minimal routing function (Chiu's ``ROUTE`` algorithm, which
+this module transcribes) is deadlock-free in a mesh without escape VCs, so
+— like DOR — Odd-Even may use all VCs, and (per the paper's §4.2.1) it
+re-allocates VCs non-atomically, giving it higher buffer utilization than
+Duato-based algorithms.
+
+Output-port selection among the permitted directions follows the paper's
+configuration: "the number of idle VCs is used to select output ports".
+"""
+
+from __future__ import annotations
+
+from repro.routing.base import RouteContext, RoutingAlgorithm
+from repro.routing.requests import Priority, VcRequest
+from repro.topology.mesh import Mesh2D
+from repro.topology.ports import Direction
+
+
+class OddEvenRouting(RoutingAlgorithm):
+    """Minimal partially-adaptive Odd-Even routing."""
+
+    name = "oddeven"
+    uses_escape = False
+    atomic_vc_reallocation = False
+
+    def select_output(self, ctx: RouteContext) -> Direction:
+        if ctx.current == ctx.destination:
+            return Direction.LOCAL
+        candidates = self.allowed_directions(
+            ctx.mesh, ctx.current, ctx.destination, ctx.source
+        )
+        return self._select_port(ctx, candidates)
+
+    def vc_requests_at(
+        self, ctx: RouteContext, direction: Direction
+    ) -> list[VcRequest]:
+        if direction is Direction.LOCAL:
+            return self.eject_requests(ctx)
+        view = ctx.outputs[direction]
+        return [
+            VcRequest(direction, v, Priority.LOW) for v in view.idle_vcs()
+        ]
+
+    def _select_port(
+        self, ctx: RouteContext, candidates: list[Direction]
+    ) -> Direction:
+        """Pick the candidate with the most idle downstream VCs."""
+        if len(candidates) == 1:
+            return candidates[0]
+        scored = [(len(ctx.outputs[d].idle_vcs()), d) for d in candidates]
+        best = max(score for score, _ in scored)
+        tied = [d for score, d in scored if score == best]
+        if len(tied) == 1:
+            return tied[0]
+        return tied[ctx.rng.randrange(len(tied))]
+
+    def allowed_directions(
+        self, mesh: Mesh2D, current: int, destination: int, source: int
+    ) -> list[Direction]:
+        """Chiu's minimal ROUTE function for the Odd-Even turn model."""
+        if current == destination:
+            return [Direction.LOCAL]
+        cx, cy = mesh.coords(current)
+        dx, dy = mesh.coords(destination)
+        sx, _sy = mesh.coords(source)
+        e0 = dx - cx  # X offset (east positive)
+        e1 = dy - cy  # Y offset (south positive)
+        vertical = Direction.SOUTH if e1 > 0 else Direction.NORTH
+
+        avail: list[Direction] = []
+        if e0 == 0:
+            # Destination in the same column: go vertically.
+            avail.append(vertical)
+        elif e0 > 0:
+            # Destination to the east.
+            if e1 == 0:
+                avail.append(Direction.EAST)
+            else:
+                # EN/ES turns are forbidden at even columns, so turning
+                # vertically here is only allowed at odd columns — except in
+                # the source column, where no turn is being taken yet.
+                if cx % 2 == 1 or cx == sx:
+                    avail.append(vertical)
+                # Continuing east must not strand the packet: if the
+                # destination column is even, the final NW/SW-free approach
+                # requires the vertical move to happen before it, so EAST is
+                # only allowed if the destination column is odd or the
+                # packet is not yet adjacent to it.
+                if dx % 2 == 1 or e0 != 1:
+                    avail.append(Direction.EAST)
+        else:
+            # Destination to the west: NW/SW turns are forbidden at odd
+            # columns, so the vertical move may only be taken at even
+            # columns; WEST itself is always productive.
+            avail.append(Direction.WEST)
+            if e1 != 0 and cx % 2 == 0:
+                avail.append(vertical)
+        return avail

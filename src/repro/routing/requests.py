@@ -1,0 +1,50 @@
+"""Virtual-channel request records produced by routing algorithms.
+
+Algorithm 1 of the paper expresses routing decisions as
+``ADD(P, v, priority)`` calls: the packet requests VC ``v`` at output port
+``P`` with a given priority.  The VC allocator then grants free VCs to the
+highest-priority requesters.  Requests targeting busy VCs are legal — they
+express willingness to *wait* on that VC (the essence of Footprint's
+"wait on footprint channels") and take effect on the cycle the VC frees,
+because requests are recomputed every cycle.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import NamedTuple
+
+from repro.topology.ports import Direction
+
+
+class Priority(enum.IntEnum):
+    """VC request priorities of Algorithm 1; larger is more urgent.
+
+    In a hardware (BookSim-style) allocator, requests persist while their
+    target VC is busy and the priorities decide who wins the VC at the
+    instant it frees (e.g. a footprint follower's HIGH beats the LOW
+    requests other packets hold on the same busy VC).  This simulator
+    recomputes requests every cycle, so the same outcomes are reproduced
+    by requesting *freshly freed* VCs at the priority the held request
+    would have had — see :mod:`repro.routing.footprint`.
+    """
+
+    LOWEST = 0
+    LOW = 1
+    HIGH = 2
+    HIGHEST = 3
+
+
+class VcRequest(NamedTuple):
+    """A request for one downstream VC at one output port.
+
+    A NamedTuple rather than a dataclass: millions are constructed per
+    run, on the simulator's hottest path.
+    """
+
+    direction: Direction
+    vc: int
+    priority: Priority
+
+    def __repr__(self) -> str:
+        return f"VcRequest({self.direction.name}, vc={self.vc}, {self.priority.name})"

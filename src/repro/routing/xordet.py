@@ -1,0 +1,112 @@
+"""XORDET static HoL-blocking-aware VC mapping (Peñaranda et al., 2014).
+
+XORDET avoids head-of-line blocking by assigning every destination a fixed
+VC computed by XOR-folding the destination coordinates, so packets to
+different destination classes never share a VC and a congested destination
+only ever thickens *one* VC per link (the thin-branch congestion tree of
+Fig. 2(c)).
+
+This module provides:
+
+* :func:`xordet_vc` — the pure destination→VC mapping;
+* :class:`XordetOverlay` — a combinator that takes any base routing
+  algorithm, keeps its output-*port* selection, and replaces its VC
+  selection with the XORDET mapping.  This realizes the paper's
+  ``DOR+XORDET``, ``Odd-Even+XORDET`` and ``DBAR+XORDET`` configurations
+  ("DBAR+XORDET uses DBAR to select the output port but the VC selection is
+  determined by XORDET").
+
+For Duato-based algorithms the mapping targets the adaptive VCs only and
+the escape request is preserved, keeping deadlock freedom intact.
+"""
+
+from __future__ import annotations
+
+from repro.routing.base import RouteContext, RoutingAlgorithm
+from repro.routing.duato import DuatoAdaptiveRouting
+from repro.routing.oddeven import OddEvenRouting
+from repro.routing.requests import Priority, VcRequest
+from repro.topology.mesh import Mesh2D
+from repro.topology.ports import Direction
+
+
+def _fold_xor(value: int) -> int:
+    """XOR-fold an integer into a small digest (bitwise parity mixing)."""
+    digest = 0
+    while value:
+        digest ^= value & 0xF
+        value >>= 4
+    return digest
+
+
+def xordet_vc(mesh: Mesh2D, destination: int, num_usable_vcs: int) -> int:
+    """The XORDET destination→VC mapping.
+
+    The destination's X and Y coordinates are XOR-folded together and
+    reduced modulo the number of usable VCs, spreading destination classes
+    evenly across VCs as the original scheme does for direct topologies.
+    """
+    x, y = mesh.coords(destination)
+    # Rotate Y before mixing so that destinations differing only in one
+    # coordinate still land in different classes for small VC counts.
+    mixed = _fold_xor(x) ^ _fold_xor((y << 2) | (y >> 2)) ^ (x + y)
+    return mixed % num_usable_vcs
+
+
+class XordetOverlay(RoutingAlgorithm):
+    """Combine a base algorithm's port selection with XORDET VC selection."""
+
+    def __init__(self, base: RoutingAlgorithm) -> None:
+        self.base = base
+        self.name = f"{base.name}+xordet"
+        self.uses_escape = base.uses_escape
+        self.atomic_vc_reallocation = base.atomic_vc_reallocation
+
+    def select_output(self, ctx: RouteContext) -> Direction:
+        if ctx.current == ctx.destination:
+            return Direction.LOCAL
+        return self._select_direction(ctx)
+
+    def vc_requests_at(
+        self, ctx: RouteContext, direction: Direction
+    ) -> list[VcRequest]:
+        if direction is Direction.LOCAL:
+            return self.eject_requests(ctx)
+        view = ctx.outputs[direction]
+        usable = view.adaptive_vcs()
+        vc = usable[xordet_vc(ctx.mesh, ctx.destination, len(usable))]
+        requests: list[VcRequest] = []
+        # The static mapping admits exactly one VC per destination; if it
+        # is busy the packet waits for it (that is the scheme's
+        # HoL-avoidance contract), re-requesting the cycle it frees.
+        if view.grantable(vc):
+            requests.append(VcRequest(direction, vc, Priority.LOW))
+        if self.uses_escape:
+            requests.extend(self.escape_request(ctx))
+        return requests
+
+    def _select_direction(self, ctx: RouteContext) -> Direction:
+        """Delegate output-port selection to the base algorithm."""
+        base = self.base
+        if isinstance(base, DuatoAdaptiveRouting):
+            candidates = ctx.mesh.minimal_directions(
+                ctx.current, ctx.destination
+            )
+            if len(candidates) == 1:
+                return candidates[0]
+            return base.select_port(ctx, candidates)
+        if isinstance(base, OddEvenRouting):
+            candidates = base.allowed_directions(
+                ctx.mesh, ctx.current, ctx.destination, ctx.source
+            )
+            return base._select_port(ctx, candidates)
+        # DOR and any other single-path base algorithm.
+        return ctx.mesh.dor_direction(ctx.current, ctx.destination)
+
+    def allowed_directions(
+        self, mesh: Mesh2D, current: int, destination: int, source: int
+    ) -> list[Direction]:
+        return self.base.allowed_directions(mesh, current, destination, source)
+
+    def __repr__(self) -> str:
+        return f"XordetOverlay({self.base!r})"

@@ -1,0 +1,7 @@
+"""Simulation kernel: configuration, RNG streams, cycle engine, results."""
+
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import Simulator
+from repro.sim.results import SimulationResult
+
+__all__ = ["SimulationConfig", "Simulator", "SimulationResult"]

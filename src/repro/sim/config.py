@@ -1,0 +1,189 @@
+"""Simulation configuration.
+
+:class:`SimulationConfig` mirrors Table 2 of the paper: topology size, VC
+count, buffer depth, routing algorithm, traffic, packet-size distribution,
+flow control, allocator and speedup parameters.  Defaults are the paper's
+bold defaults (8x8 mesh, 10 VCs, buffer depth 4, single-flit packets,
+internal speedup 2, credit-based wormhole flow control).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Full configuration of one simulation run.
+
+    Parameters map one-to-one onto Table 2 of the paper unless noted.
+
+    Attributes
+    ----------
+    width, height:
+        Mesh dimensions; ``height`` defaults to ``width``.
+    num_vcs:
+        Virtual channels per physical channel (paper default 10).
+    vc_buffer_depth:
+        Flit slots per VC (paper: 4).
+    routing:
+        Routing algorithm name, resolved through
+        :func:`repro.routing.registry.create_routing`.  One of ``"dor"``,
+        ``"oddeven"``, ``"dbar"``, ``"footprint"``, optionally with an
+        ``"+xordet"`` suffix.
+    traffic:
+        Traffic pattern name (``"uniform"``, ``"transpose"``, ``"shuffle"``,
+        ``"hotspot"``, ``"trace"``, and extras).
+    injection_rate:
+        Offered load in flits/node/cycle for synthetic patterns.
+    packet_size:
+        Fixed packet size in flits; ignored when ``packet_size_range`` set.
+    packet_size_range:
+        Optional ``(lo, hi)``; packet sizes drawn uniformly from
+        ``[lo, hi]`` (paper's {1..6}-flit experiment).
+    internal_speedup:
+        Switch speedup: flits per output per cycle the crossbar can deliver
+        into the output staging buffer (paper: 2.0).
+    output_buffer_depth:
+        Depth of the output staging FIFO that absorbs the speedup.
+    ejection_rate:
+        Endpoint consumption bandwidth in flits/cycle (1.0 = link rate).
+    congestion_threshold:
+        Footprint/DBAR congestion threshold as a fraction of ``num_vcs``;
+        the paper uses half the VCs (0.5).
+    footprint_vc_limit:
+        Optional cap on the number of footprint VCs a flow may occupy per
+        output port (the paper's §4.2.5 future-work knob); ``None`` means
+        unlimited as in the paper.
+    warmup_cycles, measure_cycles, drain_cycles:
+        Phases of the run.  Statistics cover packets created during the
+        measurement window.
+    sim_cycles:
+        Hard upper bound on total simulated cycles (warmup + measure +
+        drain allowance).
+    seed:
+        Master seed for all RNG streams.
+    track_utilization:
+        When true, the engine counts every flit per output channel so
+        per-link utilization and heatmaps can be reported
+        (:mod:`repro.metrics.utilization`).  Off by default — it adds a
+        counter update per flit-hop.
+    hotspot_rate:
+        Injection rate of hotspot flows when ``traffic == "hotspot"``.
+    background_rate:
+        Injection rate of the uniform-random background traffic for the
+        hotspot experiment (paper: 0.3).
+    trace:
+        Pre-generated trace (list of events) for ``traffic == "trace"``;
+        see :mod:`repro.traffic.trace`.
+    """
+
+    width: int = 8
+    height: int | None = None
+    num_vcs: int = 10
+    vc_buffer_depth: int = 4
+    routing: str = "footprint"
+    traffic: str = "uniform"
+    injection_rate: float = 0.1
+    packet_size: int = 1
+    packet_size_range: tuple[int, int] | None = None
+    internal_speedup: int = 2
+    output_buffer_depth: int = 8
+    ejection_rate: float = 1.0
+    congestion_threshold: float = 0.5
+    footprint_vc_limit: int | None = None
+    warmup_cycles: int = 1000
+    measure_cycles: int = 2000
+    drain_cycles: int = 10000
+    seed: int = 1
+    hotspot_rate: float = 0.1
+    background_rate: float = 0.3
+    trace: Any = None
+    track_utilization: bool = False
+
+    def __post_init__(self) -> None:
+        if self.height is None:
+            object.__setattr__(self, "height", self.width)
+        self.validate()
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` on any inconsistent setting."""
+        if self.width < 2 or (self.height or 0) < 2:
+            raise ConfigurationError("mesh must be at least 2x2")
+        if self.num_vcs < 1:
+            raise ConfigurationError("need at least one VC")
+        if self.routing_needs_escape and self.num_vcs < 2:
+            raise ConfigurationError(
+                f"routing '{self.routing}' uses Duato escape channels and "
+                f"needs >= 2 VCs, got {self.num_vcs}"
+            )
+        if self.vc_buffer_depth < 1:
+            raise ConfigurationError("VC buffer depth must be >= 1")
+        if not (0.0 <= self.injection_rate <= 1.0):
+            raise ConfigurationError("injection rate must be in [0, 1]")
+        if self.packet_size < 1:
+            raise ConfigurationError("packet size must be >= 1")
+        if self.packet_size_range is not None:
+            lo, hi = self.packet_size_range
+            if lo < 1 or hi < lo:
+                raise ConfigurationError(
+                    f"invalid packet size range {self.packet_size_range}"
+                )
+        if self.internal_speedup < 1:
+            raise ConfigurationError("internal speedup must be >= 1")
+        if self.output_buffer_depth < self.internal_speedup:
+            raise ConfigurationError(
+                "output buffer must hold at least one speedup burst"
+            )
+        if not (0.0 < self.ejection_rate <= 1.0):
+            raise ConfigurationError("ejection rate must be in (0, 1]")
+        if not (0.0 <= self.congestion_threshold <= 1.0):
+            raise ConfigurationError("congestion threshold must be in [0, 1]")
+        if self.footprint_vc_limit is not None and self.footprint_vc_limit < 1:
+            raise ConfigurationError("footprint VC limit must be >= 1 or None")
+        for name in ("warmup_cycles", "measure_cycles", "drain_cycles"):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be >= 0")
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return self.width * (self.height or self.width)
+
+    @property
+    def routing_needs_escape(self) -> bool:
+        """Whether the routing algorithm reserves VC0 as a Duato escape VC."""
+        base = self.routing.split("+")[0].strip().lower()
+        return base in ("dbar", "footprint")
+
+    @property
+    def max_cycles(self) -> int:
+        return self.warmup_cycles + self.measure_cycles + self.drain_cycles
+
+    @property
+    def mean_packet_size(self) -> float:
+        if self.packet_size_range is not None:
+            lo, hi = self.packet_size_range
+            return (lo + hi) / 2.0
+        return float(self.packet_size)
+
+    def with_(self, **overrides: Any) -> "SimulationConfig":
+        """Return a copy with ``overrides`` applied (and re-validated)."""
+        return replace(self, **overrides)
+
+    def describe(self) -> str:
+        """One-line human-readable summary used in logs and reports."""
+        size = (
+            f"{self.packet_size}f"
+            if self.packet_size_range is None
+            else f"{self.packet_size_range[0]}-{self.packet_size_range[1]}f"
+        )
+        return (
+            f"{self.width}x{self.height} mesh, {self.num_vcs} VCs, "
+            f"{self.routing} routing, {self.traffic} traffic "
+            f"@ {self.injection_rate:.3f}, {size} packets, seed {self.seed}"
+        )

@@ -1,0 +1,271 @@
+"""The cycle-level simulation engine.
+
+The engine owns the mesh of routers, the per-node sources and sinks, and
+the links between them.  Links and credit returns have one cycle of
+latency; within a cycle the stages run in this order:
+
+1. deliver flits and credits that completed their link traversal;
+2. sinks drain at the ejection bandwidth (packets complete here);
+3. link traversal — every output port puts at most one flit on its link;
+4. route computation and VC allocation in every router;
+5. switch allocation/traversal — flits move from input buffers to output
+   staging FIFOs, producing upstream credit returns;
+6. traffic generation and source injection.
+
+The run is split into warm-up, measurement, and drain phases.  Packets
+created during the measurement window are *measured*; the run ends early
+once all of them have been delivered, or at the configured cycle limit
+(in which case the result reports ``drained == False`` — the usual
+signature of a saturated network).
+
+A progress watchdog raises :class:`~repro.exceptions.SimulationError` if
+no flit moves for a long stretch while packets are still in flight, which
+would indicate a routing deadlock — the deadlock-freedom tests rely on it.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import SimulationError
+from repro.metrics.stats import LatencyStats
+from repro.metrics.utilization import ChannelUtilization
+from repro.router.flit import Flit, Packet
+from repro.router.router import BlockingStats, Router
+from repro.routing.registry import create_routing
+from repro.sim.config import SimulationConfig
+from repro.sim.endpoints import Sink, Source
+from repro.sim.results import SimulationResult
+from repro.sim.rng import RngStreams
+from repro.topology.mesh import Mesh2D
+from repro.topology.ports import OPPOSITE, Direction
+from repro.traffic.factory import create_traffic
+from repro.traffic.patterns import TrafficGenerator
+
+#: Cycles without any flit movement (while flits are in flight) after which
+#: the engine declares a deadlock.
+DEADLOCK_WINDOW = 5000
+
+
+class Simulator:
+    """One simulated network plus its workload."""
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        traffic: TrafficGenerator | None = None,
+    ) -> None:
+        self.config = config
+        self.mesh = Mesh2D(config.width, config.height)
+        self.rng = RngStreams(config.seed)
+        self.routing = create_routing(config.routing)
+        self.routers = [
+            Router(
+                node,
+                self.mesh,
+                config,
+                self.routing,
+                self.rng.stream(f"router/{node}"),
+            )
+            for node in range(self.mesh.num_nodes)
+        ]
+        self.sinks = [
+            Sink(
+                node,
+                config.num_vcs,
+                config.vc_buffer_depth,
+                config.ejection_rate,
+                self._on_packet_ejected,
+            )
+            for node in range(self.mesh.num_nodes)
+        ]
+        self.sources = [
+            Source(node, self.routers[node], config.num_vcs)
+            for node in range(self.mesh.num_nodes)
+        ]
+        self.traffic = (
+            traffic
+            if traffic is not None
+            else create_traffic(config, self.mesh, self.rng.stream("traffic"))
+        )
+
+        self.cycle = 0
+        self._last_progress_cycle = 0
+        self._flits_in_network = 0
+
+        # Link pipelines: (node, direction, vc, flit) and (node, dir, vc)
+        # to apply at the start of the next cycle.
+        self._flits_next: list[tuple[int, Direction, int, Flit]] = []
+        self._credits_next: list[tuple[int, Direction, int]] = []
+        self._sink_next: list[tuple[int, int, Flit]] = []
+
+        # Statistics.
+        self.utilization: ChannelUtilization | None = (
+            ChannelUtilization(self.mesh, cycles=0)
+            if config.track_utilization
+            else None
+        )
+        self.latency = LatencyStats()
+        self.latency_by_flow: dict[str, LatencyStats] = {}
+        self.measured_created = 0
+        self.measured_ejected = 0
+        self.window_accepted_flits = 0
+        self.window_offered_flits = 0
+
+    # ------------------------------------------------------------------
+    # Measurement window helpers
+    # ------------------------------------------------------------------
+    @property
+    def _measure_start(self) -> int:
+        return self.config.warmup_cycles
+
+    @property
+    def _measure_end(self) -> int:
+        return self.config.warmup_cycles + self.config.measure_cycles
+
+    def _in_window(self, cycle: int) -> bool:
+        return self._measure_start <= cycle < self._measure_end
+
+    def _on_packet_ejected(self, packet: Packet, cycle: int) -> None:
+        if self._in_window(cycle):
+            self.window_accepted_flits += packet.size
+        if packet.measured:
+            self.measured_ejected += 1
+            self.latency.add(packet.latency)
+            flow_stats = self.latency_by_flow.setdefault(
+                packet.flow, LatencyStats()
+            )
+            flow_stats.add(packet.latency)
+
+    # ------------------------------------------------------------------
+    # One simulated cycle
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        cycle = self.cycle
+
+        # 1. Arrivals from the previous cycle's link traversals.
+        flits_now, self._flits_next = self._flits_next, []
+        credits_now, self._credits_next = self._credits_next, []
+        sink_now, self._sink_next = self._sink_next, []
+        for node, direction, vc in credits_now:
+            self.routers[node].receive_credit(direction, vc)
+        for node, direction, vc, flit in flits_now:
+            flit.hops += 1
+            self.routers[node].receive_flit(direction, vc, flit)
+        for node, vc, flit in sink_now:
+            self.sinks[node].receive(vc, flit)
+
+        # 2. Sink drain (ejection bandwidth), returning credits upstream.
+        progressed = False
+        for sink in self.sinks:
+            if sink.occupancy == 0:
+                continue
+            for vc in sink.drain(cycle):
+                self._credits_next.append((sink.node, Direction.LOCAL, vc))
+                progressed = True
+                self._flits_in_network -= 1
+
+        # 3. Link traversal.
+        utilization = self.utilization
+        if utilization is not None:
+            utilization.cycles += 1
+        for router in self.routers:
+            for direction, vc, flit in router.link_traversal():
+                progressed = True
+                if utilization is not None:
+                    utilization.record(router.node, direction)
+                if direction is Direction.LOCAL:
+                    self._sink_next.append((router.node, vc, flit))
+                else:
+                    neighbor = self.mesh.neighbor(router.node, direction)
+                    assert neighbor is not None
+                    self._flits_next.append(
+                        (neighbor, OPPOSITE[direction], vc, flit)
+                    )
+
+        # 4. Route computation + VC allocation.
+        for router in self.routers:
+            router.route_and_allocate()
+
+        # 5. Switch allocation/traversal; upstream credit returns.
+        for router in self.routers:
+            for in_direction, vc in router.switch_traversal():
+                progressed = True
+                if in_direction is Direction.LOCAL:
+                    # Injection buffers are filled directly by the source,
+                    # which observes free space without a credit loop.
+                    continue
+                upstream = self.mesh.neighbor(router.node, in_direction)
+                assert upstream is not None
+                self._credits_next.append(
+                    (upstream, OPPOSITE[in_direction], vc)
+                )
+
+        # 6. Traffic generation and injection.
+        in_window = self._in_window(cycle)
+        for packet in self.traffic.generate(cycle, in_window):
+            if packet.measured:
+                self.measured_created += 1
+            if in_window:
+                self.window_offered_flits += packet.size
+            self.sources[packet.src].enqueue(packet)
+        for source in self.sources:
+            if source.inject(cycle):
+                self._flits_in_network += 1
+                progressed = True
+
+        # Deadlock watchdog.
+        if progressed:
+            self._last_progress_cycle = cycle
+        elif (
+            self._flits_in_network > 0
+            and cycle - self._last_progress_cycle > DEADLOCK_WINDOW
+        ):
+            raise SimulationError(
+                f"no flit movement for {DEADLOCK_WINDOW} cycles at cycle "
+                f"{cycle} with {self._flits_in_network} flits in flight — "
+                f"routing deadlock with '{self.config.routing}'"
+            )
+
+        self.cycle += 1
+
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        """Run warm-up, measurement, and drain; return the result."""
+        limit = self.config.max_cycles
+        measure_end = self._measure_end
+        while self.cycle < limit:
+            self.step()
+            if self.cycle == self._measure_start:
+                for router in self.routers:
+                    router.enable_blocking_sampling(True)
+            if self.cycle >= measure_end:
+                for router in self.routers:
+                    router.enable_blocking_sampling(False)
+                if self.measured_ejected == self.measured_created:
+                    break
+        return self._result()
+
+    def _result(self) -> SimulationResult:
+        blocking = BlockingStats()
+        for router in self.routers:
+            blocking.merge(router.blocking)
+        return SimulationResult(
+            config=self.config,
+            cycles_run=self.cycle,
+            latency=self.latency,
+            latency_by_flow=self.latency_by_flow,
+            accepted_flits=self.window_accepted_flits,
+            offered_flits=self.window_offered_flits,
+            measured_created=self.measured_created,
+            measured_ejected=self.measured_ejected,
+            blocking=blocking,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection helpers (used by congestion-tree analysis and tests)
+    # ------------------------------------------------------------------
+    def total_buffered_flits(self) -> int:
+        """Flits currently buffered anywhere in the network."""
+        total = sum(r.occupancy() for r in self.routers)
+        total += sum(s.occupancy for s in self.sinks)
+        total += len(self._flits_next) + len(self._sink_next)
+        return total

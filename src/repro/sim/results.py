@@ -1,0 +1,82 @@
+"""Simulation results.
+
+:class:`SimulationResult` is the immutable record returned by one
+:class:`~repro.sim.engine.Simulator` run: latency statistics (overall and
+per traffic flow), accepted throughput over the measurement window, drain
+status, and the blocking-purity counters used by the Fig. 10 analysis.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.metrics.stats import LatencyStats
+from repro.router.router import BlockingStats
+from repro.sim.config import SimulationConfig
+
+
+@dataclass
+class SimulationResult:
+    """Aggregate outcome of one simulation run."""
+
+    config: SimulationConfig
+    cycles_run: int
+    #: Latency over all measured packets (creation to tail ejection).
+    latency: LatencyStats
+    #: Latency broken down by traffic-flow label.
+    latency_by_flow: dict[str, LatencyStats]
+    #: Flits ejected during the measurement window (all packets).
+    accepted_flits: int
+    #: Flits offered (generated) during the measurement window.
+    offered_flits: int
+    #: Measured packets created / successfully ejected by run end.
+    measured_created: int
+    measured_ejected: int
+    #: Purity-of-blocking counters aggregated over all routers.
+    blocking: BlockingStats
+    #: Extra per-run annotations (experiment harness use).
+    notes: dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def accepted_rate(self) -> float:
+        """Accepted throughput in flits/node/cycle over the window."""
+        window = self.config.measure_cycles
+        if window == 0:
+            return math.nan
+        return self.accepted_flits / (self.config.num_nodes * window)
+
+    @property
+    def offered_rate(self) -> float:
+        """Offered load in flits/node/cycle over the window."""
+        window = self.config.measure_cycles
+        if window == 0:
+            return math.nan
+        return self.offered_flits / (self.config.num_nodes * window)
+
+    @property
+    def drained(self) -> bool:
+        """Whether every measured packet was delivered before the run ended."""
+        return self.measured_ejected == self.measured_created
+
+    @property
+    def avg_latency(self) -> float:
+        return self.latency.mean
+
+    def flow_latency(self, flow: str) -> float:
+        """Mean latency of packets in flow ``flow`` (NaN if none ejected)."""
+        stats = self.latency_by_flow.get(flow)
+        return stats.mean if stats is not None else math.nan
+
+    def summary(self) -> str:
+        """One-line report used by the CLI and the experiment harness."""
+        lat = (
+            f"{self.avg_latency:8.2f}" if self.latency.count else "     n/a"
+        )
+        return (
+            f"{self.config.routing:>16s} {self.config.traffic:>10s} "
+            f"inj={self.config.injection_rate:.3f} -> "
+            f"lat={lat} acc={self.accepted_rate:.4f} "
+            f"drained={'yes' if self.drained else 'NO'}"
+        )

@@ -1,0 +1,6 @@
+"""Network topology: k-ary 2-mesh geometry, ports, and channels."""
+
+from repro.topology.ports import Direction, OPPOSITE
+from repro.topology.mesh import Mesh2D
+
+__all__ = ["Direction", "OPPOSITE", "Mesh2D"]

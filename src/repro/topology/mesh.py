@@ -1,0 +1,187 @@
+"""Geometry of a k-ary 2-mesh (2D mesh) network.
+
+Node numbering is row-major: node ``n`` sits at coordinates
+``(x, y) = (n % width, n // width)`` with ``x`` growing eastward and ``y``
+growing southward.  This matches the numbering used in the paper's figures
+(e.g. in a 4x4 mesh, node 10 is at column 2, row 2, and flows
+``n0 -> n10`` and ``n1 -> n15`` converge on the ``n1 -> n2`` link under
+dimension-order routing).
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import TopologyError
+from repro.topology.ports import COMPASS, Direction
+
+
+class Mesh2D:
+    """A ``width x height`` 2D mesh.
+
+    The mesh provides pure geometry queries: coordinates, neighbours,
+    minimal-routing port sets, and hop distances.  It holds no simulation
+    state; routers and channels are built on top of it by the engine.
+
+    Parameters
+    ----------
+    width:
+        Number of columns (the X dimension radix).
+    height:
+        Number of rows (the Y dimension radix).  Defaults to ``width``
+        (a square mesh) when omitted.
+    """
+
+    def __init__(self, width: int, height: int | None = None) -> None:
+        if height is None:
+            height = width
+        if width < 2 or height < 2:
+            raise TopologyError(
+                f"mesh dimensions must be at least 2x2, got {width}x{height}"
+            )
+        self.width = width
+        self.height = height
+        self.num_nodes = width * height
+        # Geometry caches: routing queries sit on the simulator's hottest
+        # path and are pure functions of (node, node).
+        self._coords = [(n % width, n // width) for n in range(self.num_nodes)]
+        self._min_dirs: dict[tuple[int, int], list[Direction]] = {}
+        self._dor: dict[tuple[int, int], Direction] = {}
+
+    # ------------------------------------------------------------------
+    # Coordinates
+    # ------------------------------------------------------------------
+    def coords(self, node: int) -> tuple[int, int]:
+        """Return ``(x, y)`` coordinates of ``node``."""
+        self._check_node(node)
+        return self._coords[node]
+
+    def node_at(self, x: int, y: int) -> int:
+        """Return the node id at coordinates ``(x, y)``."""
+        if not (0 <= x < self.width and 0 <= y < self.height):
+            raise TopologyError(f"coordinates ({x}, {y}) outside {self}")
+        return y * self.width + x
+
+    def _check_node(self, node: int) -> None:
+        if not (0 <= node < self.num_nodes):
+            raise TopologyError(f"node {node} outside {self}")
+
+    # ------------------------------------------------------------------
+    # Neighbours and channels
+    # ------------------------------------------------------------------
+    def neighbor(self, node: int, direction: Direction) -> int | None:
+        """Return the neighbour of ``node`` through ``direction``.
+
+        Returns ``None`` when the port faces the mesh edge (meshes have no
+        wrap-around links).  ``LOCAL`` has no neighbouring router and raises.
+        """
+        if direction is Direction.LOCAL:
+            raise TopologyError("LOCAL port has no neighbouring router")
+        x, y = self.coords(node)
+        if direction is Direction.EAST:
+            return node + 1 if x + 1 < self.width else None
+        if direction is Direction.WEST:
+            return node - 1 if x - 1 >= 0 else None
+        if direction is Direction.SOUTH:
+            return node + self.width if y + 1 < self.height else None
+        return node - self.width if y - 1 >= 0 else None
+
+    def router_ports(self, node: int) -> list[Direction]:
+        """All ports present on ``node``'s router, LOCAL last."""
+        ports = [d for d in COMPASS if self.neighbor(node, d) is not None]
+        ports.append(Direction.LOCAL)
+        return ports
+
+    def channels(self) -> list[tuple[int, Direction, int]]:
+        """Enumerate all inter-router channels as ``(src, direction, dst)``.
+
+        Each unidirectional link appears once; a bidirectional mesh link
+        contributes two entries.
+        """
+        out: list[tuple[int, Direction, int]] = []
+        for node in range(self.num_nodes):
+            for d in COMPASS:
+                nbr = self.neighbor(node, d)
+                if nbr is not None:
+                    out.append((node, d, nbr))
+        return out
+
+    # ------------------------------------------------------------------
+    # Minimal routing geometry
+    # ------------------------------------------------------------------
+    def hop_distance(self, src: int, dst: int) -> int:
+        """Manhattan (minimal hop) distance between two nodes."""
+        sx, sy = self.coords(src)
+        dx, dy = self.coords(dst)
+        return abs(sx - dx) + abs(sy - dy)
+
+    def minimal_directions(self, cur: int, dst: int) -> list[Direction]:
+        """Productive (minimal) directions from ``cur`` towards ``dst``.
+
+        Returns up to two directions, X first then Y; an empty list means
+        ``cur == dst`` (the packet should eject through ``LOCAL``).
+        The result is cached; callers must not mutate it.
+        """
+        key = (cur, dst)
+        cached = self._min_dirs.get(key)
+        if cached is not None:
+            return cached
+        cx, cy = self.coords(cur)
+        dx, dy = self.coords(dst)
+        dirs: list[Direction] = []
+        if dx > cx:
+            dirs.append(Direction.EAST)
+        elif dx < cx:
+            dirs.append(Direction.WEST)
+        if dy > cy:
+            dirs.append(Direction.SOUTH)
+        elif dy < cy:
+            dirs.append(Direction.NORTH)
+        self._min_dirs[key] = dirs
+        return dirs
+
+    def dor_direction(self, cur: int, dst: int) -> Direction:
+        """Dimension-order (XY) next direction from ``cur`` to ``dst``.
+
+        X is fully resolved before Y; ``LOCAL`` is returned at the
+        destination.
+        """
+        key = (cur, dst)
+        cached = self._dor.get(key)
+        if cached is not None:
+            return cached
+        dirs = self.minimal_directions(cur, dst)
+        if not dirs:
+            result = Direction.LOCAL
+        else:
+            result = dirs[0]
+            for d in dirs:
+                if d in (Direction.EAST, Direction.WEST):
+                    result = d
+                    break
+        self._dor[key] = result
+        return result
+
+    def num_minimal_paths(self, src: int, dst: int) -> int:
+        """Number of distinct minimal paths between ``src`` and ``dst``.
+
+        For a mesh this is the binomial coefficient ``C(dx + dy, dx)``
+        where ``dx`` and ``dy`` are the per-dimension offsets.
+        """
+        sx, sy = self.coords(src)
+        dx, dy = self.coords(dst)
+        import math
+
+        ax, ay = abs(sx - dx), abs(sy - dy)
+        return math.comb(ax + ay, ax)
+
+    def __repr__(self) -> str:
+        return f"Mesh2D({self.width}x{self.height})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Mesh2D)
+            and self.width == other.width
+            and self.height == other.height
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.width, self.height))

@@ -1,0 +1,23 @@
+"""Traffic generation: synthetic patterns, hotspot flows, and traces."""
+
+from repro.traffic.patterns import (
+    PATTERNS,
+    SyntheticTraffic,
+    TrafficGenerator,
+    pattern_destination,
+)
+from repro.traffic.hotspot import HotspotTraffic, default_hotspot_flows
+from repro.traffic.trace import TraceEvent, TraceTraffic
+from repro.traffic.factory import create_traffic
+
+__all__ = [
+    "PATTERNS",
+    "SyntheticTraffic",
+    "TrafficGenerator",
+    "pattern_destination",
+    "HotspotTraffic",
+    "default_hotspot_flows",
+    "TraceEvent",
+    "TraceTraffic",
+    "create_traffic",
+]

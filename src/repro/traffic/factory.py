@@ -1,0 +1,31 @@
+"""Traffic-generator factory used by the simulation engine."""
+
+from __future__ import annotations
+
+import random
+
+from repro.exceptions import TrafficError
+from repro.sim.config import SimulationConfig
+from repro.topology.mesh import Mesh2D
+from repro.traffic.hotspot import HotspotTraffic
+from repro.traffic.patterns import PATTERNS, SyntheticTraffic, TrafficGenerator
+from repro.traffic.trace import TraceTraffic
+
+
+def create_traffic(
+    config: SimulationConfig, mesh: Mesh2D, rng: random.Random
+) -> TrafficGenerator:
+    """Instantiate the traffic generator named by ``config.traffic``."""
+    name = config.traffic.strip().lower()
+    if name in PATTERNS:
+        return SyntheticTraffic(name, config, mesh, rng)
+    if name == "hotspot":
+        return HotspotTraffic(config, mesh, rng)
+    if name == "trace":
+        if config.trace is None:
+            raise TrafficError("traffic 'trace' requires config.trace events")
+        return TraceTraffic(list(config.trace), config, mesh, rng)
+    raise TrafficError(
+        f"unknown traffic '{config.traffic}'; "
+        f"available: {sorted(PATTERNS) + ['hotspot', 'trace']}"
+    )

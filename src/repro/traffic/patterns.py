@@ -1,0 +1,170 @@
+"""Synthetic traffic patterns.
+
+The paper evaluates uniform random, transpose, and shuffle (plus hotspot,
+which lives in :mod:`repro.traffic.hotspot`).  A few additional standard
+patterns (bit-complement, bit-reverse, tornado, neighbor) are provided for
+completeness; they follow the definitions in Dally & Towles.
+
+Pattern conventions:
+
+* **uniform** — destination drawn uniformly from all other nodes.
+* **transpose** — node ``(x, y)`` sends to ``(y, x)`` (requires a square
+  mesh); nodes on the diagonal are silent.
+* **shuffle** — destination id is the source id rotated left by one bit
+  (perfect shuffle, requires a power-of-two node count); fixed points are
+  silent.
+* **bitcomp** — destination id is the bitwise complement of the source id.
+* **bitrev** — destination id is the bit-reversed source id.
+* **tornado** — ``(x, y)`` sends to ``(x + ceil(k/2) - 1 mod k, y)``.
+* **neighbor** — ``(x, y)`` sends to ``(x + 1 mod k, y)``.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Callable
+
+from repro.exceptions import TrafficError
+from repro.router.flit import Packet
+from repro.sim.config import SimulationConfig
+from repro.topology.mesh import Mesh2D
+from repro.traffic.injection import bernoulli_generates, sample_packet_size
+
+
+class TrafficGenerator(abc.ABC):
+    """Produces packets for every cycle of the simulation."""
+
+    @abc.abstractmethod
+    def generate(self, cycle: int, measured: bool) -> list[Packet]:
+        """Packets created at ``cycle``; ``measured`` marks the window."""
+
+
+# ----------------------------------------------------------------------
+# Destination functions
+# ----------------------------------------------------------------------
+def _num_bits(n: int) -> int:
+    bits = (n - 1).bit_length()
+    if 1 << bits != n:
+        raise TrafficError(f"pattern requires power-of-two node count, got {n}")
+    return bits
+
+
+def _uniform(mesh: Mesh2D, src: int, rng: random.Random) -> int | None:
+    dst = rng.randrange(mesh.num_nodes - 1)
+    return dst if dst < src else dst + 1
+
+
+def _transpose(mesh: Mesh2D, src: int, rng: random.Random) -> int | None:
+    if mesh.width != mesh.height:
+        raise TrafficError("transpose requires a square mesh")
+    x, y = mesh.coords(src)
+    dst = mesh.node_at(y, x)
+    return None if dst == src else dst
+
+
+def _shuffle(mesh: Mesh2D, src: int, rng: random.Random) -> int | None:
+    bits = _num_bits(mesh.num_nodes)
+    dst = ((src << 1) | (src >> (bits - 1))) & (mesh.num_nodes - 1)
+    return None if dst == src else dst
+
+
+def _bitcomp(mesh: Mesh2D, src: int, rng: random.Random) -> int | None:
+    _num_bits(mesh.num_nodes)
+    dst = ~src & (mesh.num_nodes - 1)
+    return None if dst == src else dst
+
+
+def _bitrev(mesh: Mesh2D, src: int, rng: random.Random) -> int | None:
+    bits = _num_bits(mesh.num_nodes)
+    dst = 0
+    for i in range(bits):
+        if src & (1 << i):
+            dst |= 1 << (bits - 1 - i)
+    return None if dst == src else dst
+
+
+def _tornado(mesh: Mesh2D, src: int, rng: random.Random) -> int | None:
+    x, y = mesh.coords(src)
+    shift = (mesh.width + 1) // 2 - 1
+    dst = mesh.node_at((x + shift) % mesh.width, y)
+    return None if dst == src else dst
+
+
+def _neighbor(mesh: Mesh2D, src: int, rng: random.Random) -> int | None:
+    x, y = mesh.coords(src)
+    dst = mesh.node_at((x + 1) % mesh.width, y)
+    return None if dst == src else dst
+
+
+DestinationFn = Callable[[Mesh2D, int, random.Random], "int | None"]
+
+#: Registry of destination functions by pattern name.
+PATTERNS: dict[str, DestinationFn] = {
+    "uniform": _uniform,
+    "transpose": _transpose,
+    "shuffle": _shuffle,
+    "bitcomp": _bitcomp,
+    "bitrev": _bitrev,
+    "tornado": _tornado,
+    "neighbor": _neighbor,
+}
+
+
+def pattern_destination(
+    name: str, mesh: Mesh2D, src: int, rng: random.Random
+) -> int | None:
+    """Destination of ``src`` under pattern ``name`` (``None`` = silent)."""
+    fn = PATTERNS.get(name)
+    if fn is None:
+        raise TrafficError(
+            f"unknown traffic pattern '{name}'; available: {sorted(PATTERNS)}"
+        )
+    return fn(mesh, src, rng)
+
+
+# ----------------------------------------------------------------------
+class SyntheticTraffic(TrafficGenerator):
+    """Bernoulli-injected synthetic traffic under a named pattern."""
+
+    def __init__(
+        self,
+        pattern: str,
+        config: SimulationConfig,
+        mesh: Mesh2D,
+        rng: random.Random,
+    ) -> None:
+        if pattern not in PATTERNS:
+            raise TrafficError(
+                f"unknown traffic pattern '{pattern}'; "
+                f"available: {sorted(PATTERNS)}"
+            )
+        self.pattern = pattern
+        self.config = config
+        self.mesh = mesh
+        self.rng = rng
+        # Validate the pattern against the mesh once, up front.
+        for src in range(mesh.num_nodes):
+            pattern_destination(pattern, mesh, src, rng)
+
+    def generate(self, cycle: int, measured: bool) -> list[Packet]:
+        packets: list[Packet] = []
+        mean_size = self.config.mean_packet_size
+        rate = self.config.injection_rate
+        for src in range(self.mesh.num_nodes):
+            if not bernoulli_generates(rate, mean_size, self.rng):
+                continue
+            dst = pattern_destination(self.pattern, self.mesh, src, self.rng)
+            if dst is None:
+                continue
+            packets.append(
+                Packet(
+                    src=src,
+                    dst=dst,
+                    size=sample_packet_size(self.config, self.rng),
+                    creation_time=cycle,
+                    flow=self.pattern,
+                    measured=measured,
+                )
+            )
+        return packets

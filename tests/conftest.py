@@ -1,0 +1,151 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.sim.config import SimulationConfig
+from repro.topology.mesh import Mesh2D
+
+
+@pytest.fixture
+def mesh4() -> Mesh2D:
+    return Mesh2D(4)
+
+
+@pytest.fixture
+def mesh8() -> Mesh2D:
+    return Mesh2D(8)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(1234)
+
+
+@pytest.fixture
+def small_config() -> SimulationConfig:
+    """A fast 4x4 configuration for end-to-end tests."""
+    return SimulationConfig(
+        width=4,
+        num_vcs=4,
+        routing="footprint",
+        traffic="uniform",
+        injection_rate=0.1,
+        warmup_cycles=50,
+        measure_cycles=100,
+        drain_cycles=1000,
+        seed=7,
+    )
+
+
+class FakeOutputView:
+    """A scriptable OutputPortView for routing-algorithm unit tests."""
+
+    def __init__(
+        self,
+        num_vcs: int = 4,
+        escape_vc: int | None = 0,
+        idle: list[int] | None = None,
+        established: list[int] | None = None,
+        owners: dict[int, int] | None = None,
+        fresh: set[int] | None = None,
+        credits: int = 0,
+    ) -> None:
+        self.num_vcs = num_vcs
+        self.escape_vc = escape_vc
+        self._adaptive = [v for v in range(num_vcs) if v != escape_vc]
+        self._idle = list(idle) if idle is not None else list(self._adaptive)
+        self._established = (
+            list(established) if established is not None else list(self._idle)
+        )
+        self._owners = dict(owners or {})
+        self._fresh = set(fresh or set())
+        self._credits = credits
+
+    def adaptive_vcs(self):
+        return self._adaptive
+
+    def idle_vcs(self):
+        return self._idle
+
+    def established_idle_vcs(self):
+        return self._established
+
+    def footprint_vcs(self, dst):
+        return [
+            v
+            for v, owner in sorted(self._owners.items())
+            if owner == dst and v not in self._idle and v != self.escape_vc
+        ]
+
+    def fresh_footprint_vcs(self, dst):
+        return [
+            v
+            for v in sorted(self._fresh)
+            if self._owners.get(v) == dst
+            and v in self._idle
+            and v != self.escape_vc
+        ]
+
+    def fresh_other_vcs(self, dst):
+        return [
+            v
+            for v in sorted(self._fresh)
+            if self._owners.get(v) != dst
+            and v in self._idle
+            and v != self.escape_vc
+        ]
+
+    def busy_vcs(self):
+        return [
+            v for v in self._adaptive if v not in self._idle
+        ]
+
+    def grantable(self, vc):
+        return vc in self._idle or (
+            vc == self.escape_vc and self._escape_grantable()
+        )
+
+    def _escape_grantable(self):
+        return getattr(self, "escape_free", True)
+
+    def free_credit_total(self):
+        return self._credits
+
+
+@pytest.fixture
+def fake_view_factory():
+    return FakeOutputView
+
+
+def make_context(
+    mesh: Mesh2D,
+    current: int,
+    destination: int,
+    outputs,
+    source: int | None = None,
+    num_vcs: int = 4,
+    congestion_threshold: int = 2,
+    footprint_vc_limit: int | None = None,
+    seed: int = 99,
+):
+    """Build a RouteContext for routing-algorithm unit tests."""
+    from repro.routing.base import RouteContext
+    from repro.topology.ports import Direction
+
+    return RouteContext(
+        mesh=mesh,
+        current=current,
+        destination=destination,
+        source=source if source is not None else current,
+        input_direction=Direction.LOCAL,
+        outputs=outputs,
+        num_vcs=num_vcs,
+        congestion_threshold=congestion_threshold,
+        footprint_vc_limit=footprint_vc_limit,
+        rng=random.Random(seed),
+    )
+

@@ -1,0 +1,92 @@
+"""Additional CLI coverage: argument plumbing into the configuration."""
+
+import pytest
+
+from repro.cli import main as cli_main
+
+
+def test_run_with_packet_size_range(capsys):
+    code = cli_main(
+        [
+            "run",
+            "--width", "4",
+            "--vcs", "4",
+            "--routing", "footprint",
+            "--packet-size-range", "1", "3",
+            "--injection-rate", "0.1",
+            "--warmup", "30",
+            "--measure", "60",
+            "--drain", "500",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "1-3f packets" in out
+
+
+def test_run_hotspot_traffic(capsys):
+    code = cli_main(
+        [
+            "run",
+            "--width", "4",
+            "--vcs", "4",
+            "--traffic", "hotspot",
+            "--hotspot-rate", "0.3",
+            "--background-rate", "0.2",
+            "--warmup", "30",
+            "--measure", "60",
+            "--drain", "500",
+        ]
+    )
+    assert code == 0
+    assert "accepted rate" in capsys.readouterr().out
+
+
+def test_run_with_footprint_vc_limit(capsys):
+    code = cli_main(
+        [
+            "run",
+            "--width", "4",
+            "--vcs", "4",
+            "--routing", "footprint",
+            "--footprint-vc-limit", "2",
+            "--injection-rate", "0.1",
+            "--warmup", "20",
+            "--measure", "40",
+            "--drain", "400",
+        ]
+    )
+    assert code == 0
+
+
+def test_invalid_algorithm_raises():
+    from repro.exceptions import RoutingError
+
+    with pytest.raises(RoutingError):
+        cli_main(
+            [
+                "run",
+                "--routing", "bogus",
+                "--warmup", "1",
+                "--measure", "1",
+                "--drain", "1",
+            ]
+        )
+
+
+def test_rectangular_mesh(capsys):
+    code = cli_main(
+        [
+            "run",
+            "--width", "4",
+            "--height", "2",
+            "--vcs", "2",
+            "--routing", "dor",
+            "--injection-rate", "0.05",
+            "--warmup", "20",
+            "--measure", "40",
+            "--drain", "300",
+        ]
+    )
+    assert code == 0
+    assert "4x2" in capsys.readouterr().out

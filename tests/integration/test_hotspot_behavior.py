@@ -1,0 +1,80 @@
+"""Integration tests of endpoint-congestion behaviour (the paper's core)."""
+
+import pytest
+
+from repro.core.congestion import extract_congestion_tree
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import Simulator
+from repro.traffic.hotspot import default_hotspot_flows
+
+
+def run_hotspot(routing, hotspot_rate, **cfg):
+    defaults = dict(
+        width=8,
+        num_vcs=10,
+        routing=routing,
+        traffic="hotspot",
+        hotspot_rate=hotspot_rate,
+        background_rate=0.3,
+        warmup_cycles=100,
+        measure_cycles=200,
+        drain_cycles=500,
+        seed=5,
+    )
+    defaults.update(cfg)
+    return Simulator(SimulationConfig(**defaults)).run()
+
+
+@pytest.mark.slow
+class TestHotspotHoL:
+    def test_background_latency_degrades_with_hotspot_rate(self):
+        mild = run_hotspot("footprint", 0.1)
+        severe = run_hotspot("footprint", 0.6)
+        assert severe.flow_latency("background") > mild.flow_latency(
+            "background"
+        )
+
+    def test_footprint_protects_background_better_than_dbar(self):
+        """The paper's Fig. 9 claim, at reduced scale: under heavy hotspot
+        load Footprint's background latency stays below DBAR's."""
+        dbar = run_hotspot("dbar", 0.6)
+        footprint = run_hotspot("footprint", 0.6)
+        assert footprint.flow_latency("background") < dbar.flow_latency(
+            "background"
+        )
+
+    def test_hotspot_latency_not_measured(self):
+        result = run_hotspot("footprint", 0.4)
+        assert "hotspot" not in result.latency_by_flow
+        assert "background" in result.latency_by_flow
+
+
+class TestCongestionTreeShape:
+    def _tree_after(self, routing, cycles=400):
+        config = SimulationConfig(
+            width=4,
+            num_vcs=4,
+            routing=routing,
+            traffic="hotspot",
+            hotspot_rate=0.8,
+            background_rate=0.2,
+            warmup_cycles=0,
+            measure_cycles=cycles,
+            drain_cycles=0,
+            seed=5,
+        )
+        sim = Simulator(config)
+        for _ in range(cycles):
+            sim.step()
+        dst = default_hotspot_flows(sim.mesh)[0][1]
+        return extract_congestion_tree(sim, dst, include_local=False)
+
+    def test_tree_forms_under_oversubscription(self):
+        tree = self._tree_after("dor")
+        assert tree.num_branches > 0
+        assert tree.total_vcs > 0
+
+    def test_footprint_tree_slimmer_than_dor(self):
+        dor = self._tree_after("dor")
+        footprint = self._tree_after("footprint")
+        assert footprint.mean_thickness <= dor.mean_thickness

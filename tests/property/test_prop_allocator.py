@@ -1,0 +1,121 @@
+"""Property-based tests for the VC allocator.
+
+For any set of requests over any port state, one allocation round must be
+a *matching*: at most one grant per input VC, at most one grant per
+(port, VC), only grantable VCs granted, and the output-stage winner never
+has lower priority than a losing contender for the same VC.
+"""
+
+import random
+
+from hypothesis import given, strategies as st
+
+from repro.router.allocator import allocate_vcs
+from repro.router.flit import Packet
+from repro.router.output import OutputPort
+from repro.router.vcstate import InputVc
+from repro.routing.requests import Priority, VcRequest
+from repro.topology.ports import Direction
+
+NUM_VCS = 4
+DIRECTIONS = (Direction.EAST, Direction.SOUTH)
+
+
+@st.composite
+def allocation_round(draw):
+    outputs = {}
+    for d in DIRECTIONS:
+        port = OutputPort(
+            direction=d,
+            num_vcs=NUM_VCS,
+            downstream_depth=4,
+            fifo_depth=8,
+            speedup=2,
+            escape_vc=None,
+            atomic_realloc=False,
+        )
+        for v in range(NUM_VCS):
+            if draw(st.booleans()):
+                port.allocate(v, dst=draw(st.integers(0, 15)))
+        outputs[d] = port
+
+    requests = []
+    n_inputs = draw(st.integers(1, 6))
+    for i in range(n_inputs):
+        ivc = InputVc(Direction.WEST, i, depth=4)
+        ivc.push(
+            Packet(src=0, dst=draw(st.integers(0, 15)), size=1,
+                   creation_time=0).flits()[0]
+        )
+        ivc.refresh_state()
+        reqs = draw(
+            st.lists(
+                st.builds(
+                    VcRequest,
+                    direction=st.sampled_from(DIRECTIONS),
+                    vc=st.integers(0, NUM_VCS - 1),
+                    priority=st.sampled_from(list(Priority)),
+                ),
+                max_size=6,
+            )
+        )
+        requests.append((ivc, reqs))
+    seed = draw(st.integers(0, 999))
+    return outputs, requests, seed
+
+
+@given(allocation_round())
+def test_allocation_is_a_valid_matching(round_):
+    outputs, requests, seed = round_
+    grantable_before = {
+        (d, v): outputs[d].grantable(v)
+        for d in DIRECTIONS
+        for v in range(NUM_VCS)
+    }
+    grants = allocate_vcs(requests, outputs, random.Random(seed))
+
+    # At most one grant per input VC.
+    input_ids = [id(g.input_vc) for g in grants]
+    assert len(input_ids) == len(set(input_ids))
+
+    # At most one grant per output VC, and only previously-free VCs.
+    out_keys = [(g.direction, g.out_vc) for g in grants]
+    assert len(out_keys) == len(set(out_keys))
+    for key in out_keys:
+        assert grantable_before[key]
+
+    # Every grant corresponds to a request made by that input VC.
+    by_input = {id(ivc): reqs for ivc, reqs in requests}
+    for g in grants:
+        assert any(
+            r.direction is g.direction and r.vc == g.out_vc
+            for r in by_input[id(g.input_vc)]
+        )
+
+
+@given(allocation_round())
+def test_work_conserving(round_):
+    """A round issues a grant exactly when some grantable request exists
+    (the allocator never wastes a cycle entirely)."""
+    outputs, requests, seed = round_
+    any_grantable = any(
+        outputs[r.direction].grantable(r.vc)
+        for _, reqs in requests
+        for r in reqs
+    )
+    grants = allocate_vcs(requests, outputs, random.Random(seed))
+    assert bool(grants) == any_grantable
+
+
+@given(allocation_round())
+def test_allocation_deterministic_for_seed(round_):
+    """allocate_vcs is a pure function of (requests, ports, rng seed)."""
+    outputs, requests, seed = round_
+
+    def run():
+        return [
+            (id(g.input_vc), g.direction, g.out_vc, g.priority)
+            for g in allocate_vcs(requests, outputs, random.Random(seed))
+        ]
+
+    assert run() == run()

@@ -1,0 +1,93 @@
+"""Property-based tests for mesh geometry."""
+
+from hypothesis import given, strategies as st
+
+from repro.topology.mesh import Mesh2D
+from repro.topology.ports import COMPASS, OPPOSITE, Direction
+
+dims = st.integers(min_value=2, max_value=16)
+
+
+@st.composite
+def mesh_and_node(draw):
+    mesh = Mesh2D(draw(dims), draw(dims))
+    node = draw(st.integers(0, mesh.num_nodes - 1))
+    return mesh, node
+
+
+@st.composite
+def mesh_and_pair(draw):
+    mesh = Mesh2D(draw(dims), draw(dims))
+    src = draw(st.integers(0, mesh.num_nodes - 1))
+    dst = draw(st.integers(0, mesh.num_nodes - 1))
+    return mesh, src, dst
+
+
+@given(mesh_and_node())
+def test_coords_roundtrip(mn):
+    mesh, node = mn
+    x, y = mesh.coords(node)
+    assert 0 <= x < mesh.width and 0 <= y < mesh.height
+    assert mesh.node_at(x, y) == node
+
+
+@given(mesh_and_node())
+def test_neighbor_symmetry(mn):
+    mesh, node = mn
+    for d in COMPASS:
+        nbr = mesh.neighbor(node, d)
+        if nbr is not None:
+            assert mesh.neighbor(nbr, OPPOSITE[d]) == node
+            assert mesh.hop_distance(node, nbr) == 1
+
+
+@given(mesh_and_pair())
+def test_hop_distance_metric(mp):
+    mesh, src, dst = mp
+    d = mesh.hop_distance(src, dst)
+    assert d == mesh.hop_distance(dst, src)
+    assert (d == 0) == (src == dst)
+    assert d <= (mesh.width - 1) + (mesh.height - 1)
+
+
+@given(mesh_and_pair())
+def test_minimal_directions_reduce_distance(mp):
+    mesh, src, dst = mp
+    dirs = mesh.minimal_directions(src, dst)
+    assert (not dirs) == (src == dst)
+    for d in dirs:
+        nbr = mesh.neighbor(src, d)
+        assert nbr is not None
+        assert mesh.hop_distance(nbr, dst) == mesh.hop_distance(src, dst) - 1
+
+
+@given(mesh_and_pair())
+def test_dor_direction_is_minimal(mp):
+    mesh, src, dst = mp
+    d = mesh.dor_direction(src, dst)
+    if src == dst:
+        assert d is Direction.LOCAL
+    else:
+        assert d in mesh.minimal_directions(src, dst)
+
+
+@given(mesh_and_pair())
+def test_dor_walk_terminates_minimally(mp):
+    mesh, src, dst = mp
+    node, hops = src, 0
+    while node != dst:
+        node = mesh.neighbor(node, mesh.dor_direction(node, dst))
+        hops += 1
+    assert hops == mesh.hop_distance(src, dst)
+
+
+@given(mesh_and_pair())
+def test_num_minimal_paths_lower_bound(mp):
+    mesh, src, dst = mp
+    paths = mesh.num_minimal_paths(src, dst)
+    assert paths >= 1
+    dirs = mesh.minimal_directions(src, dst)
+    if len(dirs) == 2:
+        assert paths >= 2
+    elif src != dst:
+        assert len(dirs) == 1

@@ -1,0 +1,83 @@
+"""Property-based tests for statistics and traffic invariants."""
+
+import random
+
+from hypothesis import given, strategies as st
+
+from repro.metrics.stats import LatencyStats
+from repro.topology.mesh import Mesh2D
+from repro.traffic.patterns import PATTERNS, pattern_destination
+
+samples = st.lists(st.integers(0, 10_000), min_size=1, max_size=500)
+
+
+@given(samples)
+def test_mean_within_bounds(values):
+    stats = LatencyStats()
+    stats.extend(values)
+    assert stats.minimum <= stats.mean <= stats.maximum
+
+
+@given(samples)
+def test_percentiles_monotone(values):
+    stats = LatencyStats()
+    stats.extend(values)
+    qs = [0, 10, 25, 50, 75, 90, 99, 100]
+    ps = [stats.percentile(q) for q in qs]
+    assert ps == sorted(ps)
+    assert ps[0] == stats.minimum
+    assert ps[-1] == stats.maximum
+
+
+@given(samples, samples)
+def test_merge_equals_concatenation(a, b):
+    merged = LatencyStats()
+    merged.extend(a)
+    other = LatencyStats()
+    other.extend(b)
+    merged.merge(other)
+    combined = LatencyStats()
+    combined.extend(a + b)
+    assert merged.count == combined.count
+    assert merged.mean == combined.mean
+    assert merged.percentile(50) == combined.percentile(50)
+
+
+@given(samples)
+def test_order_invariance(values):
+    a = LatencyStats()
+    a.extend(values)
+    b = LatencyStats()
+    b.extend(sorted(values, reverse=True))
+    assert a.mean == b.mean
+    assert a.percentile(75) == b.percentile(75)
+
+
+@given(
+    st.sampled_from(sorted(PATTERNS)),
+    st.sampled_from([2, 4, 8]),
+    st.integers(0, 10_000),
+)
+def test_patterns_never_self_address(name, width, seed):
+    mesh = Mesh2D(width)
+    rng = random.Random(seed)
+    for src in range(mesh.num_nodes):
+        dst = pattern_destination(name, mesh, src, rng)
+        if dst is not None:
+            assert dst != src
+            assert 0 <= dst < mesh.num_nodes
+
+
+@given(st.sampled_from([2, 4, 8]), st.integers(0, 1000))
+def test_deterministic_patterns_are_permutations(width, seed):
+    """Transpose/shuffle/bitcomp/bitrev map distinct sources to distinct
+    destinations (they are partial permutations)."""
+    mesh = Mesh2D(width)
+    rng = random.Random(seed)
+    for name in ("transpose", "shuffle", "bitcomp", "bitrev"):
+        mapping = {}
+        for src in range(mesh.num_nodes):
+            dst = pattern_destination(name, mesh, src, rng)
+            if dst is not None:
+                mapping[src] = dst
+        assert len(set(mapping.values())) == len(mapping)

@@ -1,0 +1,83 @@
+"""Unit tests for the two-level adaptiveness metrics (paper §3.1)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.adaptiveness import (
+    mean_port_adaptiveness,
+    port_adaptiveness,
+    qualitative_comparison,
+    vc_adaptiveness,
+)
+from repro.routing.registry import create_routing
+from repro.topology.mesh import Mesh2D
+
+
+@pytest.fixture
+def mesh():
+    return Mesh2D(4)
+
+
+class TestPortAdaptiveness:
+    def test_fully_adaptive_is_one(self, mesh):
+        algo = create_routing("footprint")
+        for src, dst in [(0, 10), (0, 15), (5, 12)]:
+            assert port_adaptiveness(algo, mesh, src, dst) == 1
+            assert mean_port_adaptiveness(algo, mesh, src, dst) == 1.0
+
+    def test_dor_single_port(self, mesh):
+        algo = create_routing("dor")
+        # Two minimal ports exist from 0 towards 10 but DOR allows one.
+        assert port_adaptiveness(algo, mesh, 0, 10) == Fraction(1, 2)
+
+    def test_single_minimal_port_pairs_are_one(self, mesh):
+        algo = create_routing("dor")
+        assert port_adaptiveness(algo, mesh, 0, 3) == 1
+
+    def test_oddeven_between_dor_and_full(self, mesh):
+        dor = create_routing("dor")
+        oe = create_routing("oddeven")
+        full = create_routing("dbar")
+        pairs = [
+            (s, d)
+            for s in range(mesh.num_nodes)
+            for d in range(mesh.num_nodes)
+            if s != d
+        ]
+        mean = lambda a: sum(  # noqa: E731
+            mean_port_adaptiveness(a, mesh, s, d) for s, d in pairs
+        ) / len(pairs)
+        assert mean(dor) < mean(oe) < mean(full)
+        assert mean(full) == 1.0
+
+    def test_at_destination(self, mesh):
+        assert port_adaptiveness(create_routing("dor"), mesh, 5, 5) == 1
+
+
+class TestVcAdaptiveness:
+    def test_duato_based(self):
+        algo = create_routing("footprint")
+        assert vc_adaptiveness(algo, 10) == Fraction(9, 10)
+        assert vc_adaptiveness(algo, 10, is_escape_channel=True) == 1
+
+    def test_oblivious_is_zero(self):
+        assert vc_adaptiveness(create_routing("dor"), 10) == 0
+        assert vc_adaptiveness(create_routing("oddeven"), 10) == 0
+
+    def test_xordet_static_is_zero(self):
+        assert vc_adaptiveness(create_routing("dbar+xordet"), 10) == 0
+
+
+class TestTable1:
+    def test_qualitative_comparison_ranks_footprint_top(self, mesh):
+        algorithms = {
+            name: create_routing(name)
+            for name in ("dor", "oddeven", "dbar", "footprint")
+        }
+        table = qualitative_comparison(algorithms, mesh, num_vcs=4)
+        assert table["footprint"]["P_adapt"] == 1.0
+        assert table["dbar"]["P_adapt"] == 1.0
+        assert table["dor"]["P_adapt"] < table["oddeven"]["P_adapt"] < 1.0
+        assert table["footprint"]["VC_adapt"] == 0.75
+        assert table["dor"]["VC_adapt"] == 0.0

@@ -1,0 +1,49 @@
+"""Unit tests for the round-robin arbiter."""
+
+import pytest
+
+from repro.router.arbiter import RoundRobinArbiter
+
+
+def test_requires_positive_size():
+    with pytest.raises(ValueError):
+        RoundRobinArbiter(0)
+
+
+def test_no_requests_no_grant():
+    assert RoundRobinArbiter(4).grant([]) is None
+
+
+def test_single_requester_always_wins():
+    arb = RoundRobinArbiter(4)
+    for _ in range(6):
+        assert arb.grant([2]) == 2
+
+
+def test_round_robin_rotation():
+    arb = RoundRobinArbiter(3)
+    grants = [arb.grant([0, 1, 2]) for _ in range(6)]
+    assert grants == [0, 1, 2, 0, 1, 2]
+
+
+def test_pointer_skips_idle_requesters():
+    arb = RoundRobinArbiter(4)
+    assert arb.grant([1, 3]) == 1
+    assert arb.grant([1, 3]) == 3
+    assert arb.grant([1, 3]) == 1
+
+
+def test_strong_fairness_under_persistent_load():
+    arb = RoundRobinArbiter(5)
+    counts = {i: 0 for i in range(5)}
+    for _ in range(100):
+        winner = arb.grant(range(5))
+        counts[winner] += 1
+    assert all(c == 20 for c in counts.values())
+
+
+def test_rotation_view():
+    arb = RoundRobinArbiter(3)
+    assert list(arb.rotation()) == [0, 1, 2]
+    arb.advance()
+    assert list(arb.rotation()) == [1, 2, 0]

@@ -1,0 +1,113 @@
+"""Unit tests for SimulationConfig validation and helpers."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.sim.config import SimulationConfig
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        config = SimulationConfig()
+        assert config.width == 8
+        assert config.height == 8
+        assert config.num_vcs == 10
+        assert config.vc_buffer_depth == 4
+        assert config.internal_speedup == 2
+        assert config.packet_size == 1
+        assert config.routing == "footprint"
+
+    def test_height_defaults_to_width(self):
+        assert SimulationConfig(width=4).height == 4
+        assert SimulationConfig(width=4, height=6).height == 6
+
+    def test_num_nodes(self):
+        assert SimulationConfig(width=4).num_nodes == 16
+        assert SimulationConfig(width=4, height=2).num_nodes == 8
+
+
+class TestValidation:
+    def test_mesh_too_small(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(width=1)
+
+    def test_zero_vcs(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(num_vcs=0)
+
+    @pytest.mark.parametrize("routing", ["dbar", "footprint"])
+    def test_escape_algorithms_need_two_vcs(self, routing):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(num_vcs=1, routing=routing)
+        SimulationConfig(num_vcs=2, routing=routing)  # must not raise
+
+    def test_dor_allows_single_vc(self):
+        SimulationConfig(num_vcs=1, routing="dor")
+
+    def test_injection_rate_bounds(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(injection_rate=-0.1)
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(injection_rate=1.5)
+
+    def test_packet_size_range(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(packet_size_range=(0, 6))
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(packet_size_range=(6, 1))
+        SimulationConfig(packet_size_range=(1, 6))
+
+    def test_output_buffer_fits_speedup(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(internal_speedup=4, output_buffer_depth=2)
+
+    def test_ejection_rate_bounds(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(ejection_rate=0.0)
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(ejection_rate=1.5)
+
+    def test_footprint_vc_limit(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(footprint_vc_limit=0)
+        SimulationConfig(footprint_vc_limit=2)
+        SimulationConfig(footprint_vc_limit=None)
+
+    def test_negative_cycles(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(warmup_cycles=-1)
+
+
+class TestHelpers:
+    def test_with_overrides_and_revalidates(self):
+        config = SimulationConfig(width=4)
+        other = config.with_(injection_rate=0.5)
+        assert other.injection_rate == 0.5
+        assert other.width == 4
+        assert config.injection_rate != 0.5  # original untouched
+        with pytest.raises(ConfigurationError):
+            config.with_(injection_rate=2.0)
+
+    def test_routing_needs_escape(self):
+        assert SimulationConfig(routing="footprint").routing_needs_escape
+        assert SimulationConfig(routing="dbar+xordet").routing_needs_escape
+        assert not SimulationConfig(routing="dor").routing_needs_escape
+        assert not SimulationConfig(routing="oddeven").routing_needs_escape
+
+    def test_mean_packet_size(self):
+        assert SimulationConfig(packet_size=3).mean_packet_size == 3.0
+        assert (
+            SimulationConfig(packet_size_range=(1, 6)).mean_packet_size == 3.5
+        )
+
+    def test_max_cycles(self):
+        config = SimulationConfig(
+            warmup_cycles=10, measure_cycles=20, drain_cycles=30
+        )
+        assert config.max_cycles == 60
+
+    def test_describe_mentions_key_facts(self):
+        text = SimulationConfig(routing="dbar", traffic="shuffle").describe()
+        assert "dbar" in text
+        assert "shuffle" in text
+        assert "8x8" in text

@@ -1,0 +1,42 @@
+"""Unit tests for the implementation-cost model (paper §4.4)."""
+
+import pytest
+
+from repro.core.cost import CostModel
+
+
+def test_paper_headline_number():
+    """8x8 mesh with 16 VCs costs 132 bits per port, as §4.4 states."""
+    model = CostModel(num_nodes=64, num_vcs=16)
+    assert model.owner_bits_per_vc == 6
+    assert model.owner_table_bits == 96
+    assert model.state_bits == 32
+    assert model.idle_counter_bits == 4
+    assert model.total_bits_per_port == 132
+
+
+def test_overhead_about_one_flit():
+    """The paper argues the overhead is roughly one flit buffer entry."""
+    model = CostModel(num_nodes=64, num_vcs=16)
+    assert model.overhead_vs_flit_buffer(flit_bits=128) == pytest.approx(
+        1.03, abs=0.01
+    )
+    assert model.overhead_vs_flit_buffer(flit_bits=256) < 1.0
+
+
+def test_owner_bits_scale_with_network_size():
+    assert CostModel(16, 4).owner_bits_per_vc == 4
+    assert CostModel(256, 4).owner_bits_per_vc == 8
+    assert CostModel(2, 4).owner_bits_per_vc == 1
+
+
+def test_total_monotone_in_vcs():
+    totals = [CostModel(64, v).total_bits_per_port for v in (2, 4, 8, 16)]
+    assert totals == sorted(totals)
+    assert len(set(totals)) == len(totals)
+
+
+def test_describe():
+    text = CostModel(64, 16).describe()
+    assert "132" in text
+    assert "N=64" in text

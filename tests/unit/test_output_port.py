@@ -1,0 +1,190 @@
+"""Unit tests for output-port state: credits, allocation, footprints."""
+
+import pytest
+
+from repro.exceptions import AllocationError, FlowControlError
+from repro.router.flit import Packet
+from repro.router.output import OutputPort
+from repro.topology.ports import Direction
+
+
+def make_port(num_vcs=4, escape=0, atomic=True, depth=4, speedup=2, fifo=8):
+    return OutputPort(
+        direction=Direction.EAST,
+        num_vcs=num_vcs,
+        downstream_depth=depth,
+        fifo_depth=fifo,
+        speedup=speedup,
+        escape_vc=escape,
+        atomic_realloc=atomic,
+    )
+
+
+def flit(size=1, dst=7, idx=0):
+    return Packet(src=0, dst=dst, size=size, creation_time=0).flits()[idx]
+
+
+class TestViews:
+    def test_adaptive_excludes_escape(self):
+        assert make_port().adaptive_vcs() == [1, 2, 3]
+        assert make_port(escape=None).adaptive_vcs() == [0, 1, 2, 3]
+
+    def test_initially_all_idle(self):
+        port = make_port()
+        assert port.idle_vcs() == [1, 2, 3]
+        assert port.busy_vcs() == []
+        assert port.footprint_vcs(7) == []
+
+    def test_allocation_updates_views(self):
+        port = make_port()
+        port.allocate(2, dst=7)
+        assert 2 not in port.idle_vcs()
+        assert port.busy_vcs() == [2]
+        assert port.footprint_vcs(7) == [2]
+        assert port.footprint_vcs(9) == []
+
+    def test_free_credit_total_tracks_sends(self):
+        port = make_port()
+        start = port.free_credit_total()
+        assert start == 3 * 4
+        port.allocate(1, dst=7)
+        port.send(flit(), 1)
+        assert port.free_credit_total() == start - 1
+        port.pop_link()
+        port.credit_return(1)
+        assert port.free_credit_total() == start
+
+    def test_escape_credits_not_in_adaptive_total(self):
+        port = make_port()
+        port.allocate(0, dst=7)
+        total = port.free_credit_total()
+        port.send(flit(), 0)
+        assert port.free_credit_total() == total
+
+
+class TestAllocation:
+    def test_double_allocation_rejected(self):
+        port = make_port()
+        port.allocate(1, dst=7)
+        with pytest.raises(AllocationError):
+            port.allocate(1, dst=8)
+
+    def test_grantable(self):
+        port = make_port()
+        assert port.grantable(1)
+        port.allocate(1, dst=7)
+        assert not port.grantable(1)
+
+
+class TestAtomicReallocation:
+    def test_vc_held_until_tail_credit_returns(self):
+        port = make_port(atomic=True)
+        port.allocate(1, dst=7)
+        port.send(flit(size=1), 1)  # single flit: head and tail
+        # Tail sent but credit not returned: still not grantable, and the
+        # owner remains visible as a footprint.
+        assert not port.grantable(1)
+        assert port.footprint_vcs(7) == [1]
+        port.credit_return(1)
+        assert port.grantable(1)
+        assert port.footprint_vcs(7) == []
+
+    def test_non_atomic_frees_on_tail_send(self):
+        port = make_port(atomic=False, escape=None)
+        port.allocate(1, dst=7)
+        port.send(flit(size=1), 1)
+        assert port.grantable(1)
+
+    def test_multi_flit_drain(self):
+        port = make_port(atomic=True)
+        port.allocate(2, dst=7)
+        head, tail = Packet(src=0, dst=7, size=2, creation_time=0).flits()
+        port.send(head, 2)
+        port.send(tail, 2)
+        port.credit_return(2)
+        assert not port.grantable(2)  # one credit still outstanding
+        port.credit_return(2)
+        assert port.grantable(2)
+
+
+class TestFreshRelease:
+    def test_release_marks_fresh_with_stale_owner(self):
+        port = make_port(atomic=True)
+        port.allocate(1, dst=7)
+        port.send(flit(), 1)
+        port.credit_return(1)
+        assert port.fresh_footprint_vcs(7) == [1]
+        assert port.fresh_other_vcs(7) == []
+        assert port.fresh_other_vcs(9) == [1]
+        assert port.established_idle_vcs() == [2, 3]
+        assert sorted(port.idle_vcs()) == [1, 2, 3]
+
+    def test_clear_fresh(self):
+        port = make_port(atomic=True)
+        port.allocate(1, dst=7)
+        port.send(flit(), 1)
+        port.credit_return(1)
+        version = port.version
+        port.clear_fresh()
+        assert port.fresh_footprint_vcs(7) == []
+        assert port.established_idle_vcs() == [1, 2, 3]
+        assert port.version > version
+
+    def test_reallocation_clears_fresh(self):
+        port = make_port(atomic=True)
+        port.allocate(1, dst=7)
+        port.send(flit(), 1)
+        port.credit_return(1)
+        port.allocate(1, dst=9)
+        assert port.fresh_footprint_vcs(7) == []
+        assert port.footprint_vcs(9) == [1]
+
+    def test_version_bumps_on_state_changes(self):
+        port = make_port()
+        v0 = port.version
+        port.allocate(1, dst=7)
+        assert port.version > v0
+
+
+class TestSwitchTraversal:
+    def test_speedup_limits_acceptance(self):
+        port = make_port(speedup=2)
+        port.allocate(1, dst=7)
+        assert port.accept_capacity() == 2
+        port.send(flit(size=3, idx=0), 1)
+        port.send(flit(size=3, idx=1), 1)
+        assert port.accept_capacity() == 0
+        assert not port.can_send(1)
+        port.new_cycle()
+        assert port.accept_capacity() == 2
+
+    def test_fifo_capacity_limits_acceptance(self):
+        port = make_port(speedup=2, fifo=2, depth=8)
+        port.allocate(1, dst=7)
+        for i in range(2):
+            port.send(flit(size=8, idx=i), 1)
+            port.new_cycle()
+        assert port.accept_capacity() == 0
+
+    def test_credit_underflow_rejected(self):
+        port = make_port(depth=1)
+        port.allocate(1, dst=7)
+        port.send(flit(size=2, idx=0), 1)
+        with pytest.raises(FlowControlError):
+            port.send(flit(size=2, idx=1), 1)
+
+    def test_credit_overflow_rejected(self):
+        port = make_port()
+        with pytest.raises(FlowControlError):
+            port.credit_return(1)
+
+    def test_link_pops_in_fifo_order(self):
+        port = make_port()
+        port.allocate(1, dst=7)
+        a = flit(size=2, idx=0)
+        b = flit(size=2, idx=1)
+        port.send(a, 1)
+        port.send(b, 1)
+        assert port.pop_link() == (a, 1)
+        assert port.pop_link() == (b, 1)
+        assert port.pop_link() is None

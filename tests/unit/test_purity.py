@@ -1,0 +1,52 @@
+"""Unit tests for the purity-of-blocking helpers (paper §4.3)."""
+
+from repro.core.purity import (
+    blocking_rate,
+    hol_blocking_degree,
+    purity_of_blocking,
+)
+from repro.metrics.stats import LatencyStats
+from repro.router.router import BlockingStats
+from repro.sim.config import SimulationConfig
+from repro.sim.results import SimulationResult
+
+
+def make_result(events=10, busy=40, footprint=10, cycles=100):
+    blocking = BlockingStats()
+    blocking.blocking_events = events
+    blocking.busy_vc_samples = busy
+    blocking.footprint_vc_samples = footprint
+    return SimulationResult(
+        config=SimulationConfig(width=4),
+        cycles_run=cycles,
+        latency=LatencyStats(),
+        latency_by_flow={},
+        accepted_flits=0,
+        offered_flits=0,
+        measured_created=0,
+        measured_ejected=0,
+        blocking=blocking,
+    )
+
+
+def test_purity():
+    assert purity_of_blocking(make_result()) == 0.25
+
+
+def test_hol_degree_is_impurity_times_events():
+    # (1 - 0.25) * 10
+    assert hol_blocking_degree(make_result()) == 7.5
+
+
+def test_blocking_rate():
+    assert blocking_rate(make_result()) == 0.1
+
+
+def test_zero_cycles_rate():
+    assert blocking_rate(make_result(cycles=0)) == 0.0
+
+
+def test_fully_pure_blocking_has_zero_hol():
+    result = make_result(events=5, busy=20, footprint=20)
+    assert purity_of_blocking(result) == 1.0
+    assert hol_blocking_degree(result) == 0.0

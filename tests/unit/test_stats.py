@@ -1,0 +1,83 @@
+"""Unit tests for latency statistics."""
+
+import math
+
+import pytest
+
+from repro.metrics.stats import LatencyStats
+
+
+def filled(values):
+    stats = LatencyStats()
+    stats.extend(values)
+    return stats
+
+
+class TestBasics:
+    def test_empty(self):
+        stats = LatencyStats()
+        assert stats.count == 0
+        assert math.isnan(stats.mean)
+        with pytest.raises(ValueError):
+            stats.minimum
+        with pytest.raises(ValueError):
+            stats.percentile(50)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyStats().add(-1)
+
+    def test_mean_min_max(self):
+        stats = filled([1, 2, 3, 4])
+        assert stats.mean == 2.5
+        assert stats.minimum == 1
+        assert stats.maximum == 4
+
+    def test_single_sample(self):
+        stats = filled([7])
+        assert stats.mean == 7
+        assert stats.percentile(50) == 7
+        assert stats.stddev == 0.0
+
+
+class TestPercentiles:
+    def test_median(self):
+        assert filled(range(1, 101)).percentile(50) == 50
+
+    def test_extremes(self):
+        stats = filled(range(1, 101))
+        assert stats.percentile(0) == 1
+        assert stats.percentile(100) == 100
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            filled([1]).percentile(101)
+
+    def test_order_independent(self):
+        a = filled([5, 1, 9, 3])
+        b = filled([1, 3, 5, 9])
+        assert a.percentile(75) == b.percentile(75)
+
+    def test_adding_after_query(self):
+        stats = filled([1, 2, 3])
+        stats.percentile(50)
+        stats.add(100)
+        assert stats.maximum == 100
+        assert stats.percentile(100) == 100
+
+
+class TestAggregation:
+    def test_stddev(self):
+        stats = filled([2, 4, 4, 4, 5, 5, 7, 9])
+        assert stats.stddev == pytest.approx(2.138, abs=0.01)
+
+    def test_merge(self):
+        a = filled([1, 2])
+        b = filled([3, 4])
+        a.merge(b)
+        assert a.count == 4
+        assert a.mean == 2.5
+
+    def test_repr(self):
+        assert "empty" in repr(LatencyStats())
+        assert "n=3" in repr(filled([1, 2, 3]))

@@ -1,0 +1,101 @@
+"""Unit tests for hotspot traffic (Table 3)."""
+
+import random
+
+import pytest
+
+from repro.exceptions import TrafficError
+from repro.sim.config import SimulationConfig
+from repro.topology.mesh import Mesh2D
+from repro.traffic.hotspot import HotspotTraffic, default_hotspot_flows
+
+
+@pytest.fixture
+def mesh():
+    return Mesh2D(8)
+
+
+def make_traffic(mesh, hotspot_rate=0.5, background_rate=0.3, flows=None):
+    config = SimulationConfig(
+        width=mesh.width,
+        hotspot_rate=hotspot_rate,
+        background_rate=background_rate,
+        traffic="hotspot",
+    )
+    return HotspotTraffic(config, mesh, random.Random(2), flows=flows)
+
+
+class TestDefaultFlows:
+    def test_exact_table3_flows_on_8x8(self, mesh):
+        flows = set(default_hotspot_flows(mesh))
+        expected = {
+            (0, 63),
+            (32, 63),
+            (7, 56),
+            (39, 56),
+            (63, 0),
+            (31, 0),
+            (56, 7),
+            (24, 7),
+        }
+        assert flows == expected
+
+    def test_eight_flows_two_per_hotspot(self, mesh):
+        flows = default_hotspot_flows(mesh)
+        assert len(flows) == 8
+        destinations = [d for _, d in flows]
+        assert all(destinations.count(d) == 2 for d in set(destinations))
+
+    def test_scales_to_other_sizes(self):
+        for width in (4, 16):
+            mesh = Mesh2D(width)
+            flows = default_hotspot_flows(mesh)
+            assert len(flows) == 8
+            for src, dst in flows:
+                assert src != dst
+                mesh.coords(src)
+                mesh.coords(dst)
+
+
+class TestGeneration:
+    def test_hotspot_packets_unmeasured(self, mesh):
+        traffic = make_traffic(mesh, hotspot_rate=1.0, background_rate=0.0)
+        packets = [p for c in range(50) for p in traffic.generate(c, True)]
+        assert packets
+        assert all(p.flow == "hotspot" for p in packets)
+        assert all(not p.measured for p in packets)
+
+    def test_background_is_uniform_from_non_participants(self, mesh):
+        traffic = make_traffic(mesh, hotspot_rate=0.0, background_rate=1.0)
+        participants = {s for s, _ in traffic.flows} | {
+            d for _, d in traffic.flows
+        }
+        packets = [p for c in range(30) for p in traffic.generate(c, True)]
+        assert packets
+        assert all(p.flow == "background" for p in packets)
+        assert all(p.src not in participants for p in packets)
+
+    def test_background_measured_in_window(self, mesh):
+        traffic = make_traffic(mesh, hotspot_rate=0.0, background_rate=1.0)
+        assert all(p.measured for p in traffic.generate(0, True))
+        assert all(not p.measured for p in traffic.generate(1, False))
+
+    def test_hotspot_flow_rate(self, mesh):
+        traffic = make_traffic(mesh, hotspot_rate=0.5, background_rate=0.0)
+        cycles = 2000
+        count = sum(
+            len(traffic.generate(c, True)) for c in range(cycles)
+        )
+        per_flow = count / (8 * cycles)
+        assert per_flow == pytest.approx(0.5, rel=0.1)
+
+    def test_custom_flows(self, mesh):
+        traffic = make_traffic(
+            mesh, hotspot_rate=1.0, background_rate=0.0, flows=[(1, 2)]
+        )
+        packets = traffic.generate(0, True)
+        assert all((p.src, p.dst) == (1, 2) for p in packets)
+
+    def test_degenerate_flow_rejected(self, mesh):
+        with pytest.raises(TrafficError):
+            make_traffic(mesh, flows=[(3, 3)])

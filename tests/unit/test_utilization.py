@@ -1,0 +1,95 @@
+"""Unit tests for channel-utilization accounting."""
+
+import pytest
+
+from repro.metrics.utilization import ChannelUtilization
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import Simulator
+from repro.topology.mesh import Mesh2D
+from repro.topology.ports import Direction
+
+
+@pytest.fixture
+def util():
+    return ChannelUtilization(Mesh2D(4), cycles=10)
+
+
+class TestAccounting:
+    def test_record_and_utilization(self, util):
+        for _ in range(5):
+            util.record(0, Direction.EAST)
+        assert util.utilization(0, Direction.EAST) == 0.5
+        assert util.utilization(0, Direction.SOUTH) == 0.0
+
+    def test_zero_cycles(self):
+        util = ChannelUtilization(Mesh2D(4), cycles=0)
+        assert util.utilization(0, Direction.EAST) == 0.0
+
+    def test_busiest(self, util):
+        for _ in range(8):
+            util.record(1, Direction.EAST)
+        for _ in range(3):
+            util.record(2, Direction.SOUTH)
+        top = util.busiest(top=1)
+        assert top == [(1, Direction.EAST, 0.8)]
+
+    def test_mean_utilization(self, util):
+        # 48 unidirectional channels on a 4x4 mesh; one fully busy.
+        for _ in range(10):
+            util.record(0, Direction.EAST)
+        assert util.mean_utilization() == pytest.approx(1 / 48)
+
+    def test_heatmap_marks_edges(self, util):
+        util.record(0, Direction.EAST)
+        text = util.heatmap(Direction.EAST)
+        assert "--" in text  # east-edge nodes have no EAST channel
+        assert "10" in text  # 1/10 cycles = 10%
+
+
+class TestEngineIntegration:
+    def test_disabled_by_default(self):
+        sim = Simulator(SimulationConfig(width=4, num_vcs=2, routing="dor"))
+        assert sim.utilization is None
+
+    def test_tracks_flits_when_enabled(self):
+        config = SimulationConfig(
+            width=4,
+            num_vcs=2,
+            routing="dor",
+            traffic="neighbor",
+            injection_rate=0.3,
+            warmup_cycles=20,
+            measure_cycles=80,
+            drain_cycles=400,
+            seed=4,
+            track_utilization=True,
+        )
+        sim = Simulator(config)
+        result = sim.run()
+        assert result.drained
+        util = sim.utilization
+        assert util is not None
+        assert util.cycles == result.cycles_run
+        # Neighbor traffic uses only EAST channels (plus ejection).
+        east_total = sum(
+            count
+            for (node, d), count in util.counts.items()
+            if d is Direction.EAST
+        )
+        vertical_total = sum(
+            count
+            for (node, d), count in util.counts.items()
+            if d in (Direction.NORTH, Direction.SOUTH)
+        )
+        assert east_total > 0
+        assert vertical_total == 0
+        assert util.mean_utilization() > 0
+        # Every ejected flit crossed exactly one LOCAL channel first; a
+        # few more may still sit in sink buffers when the run stops.
+        local_total = sum(
+            count
+            for (node, d), count in util.counts.items()
+            if d is Direction.LOCAL
+        )
+        ejected = sum(s.ejected_flits for s in sim.sinks)
+        assert ejected <= local_total <= ejected + 2 * 16
