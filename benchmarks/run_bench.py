@@ -1,0 +1,444 @@
+#!/usr/bin/env python
+"""Benchmark the simulation engine and the parallel experiment layer.
+
+Two measurements, written to ``BENCH_<timestamp>.json``:
+
+* **engine** — single-simulation cycles/sec for a fixed config matrix,
+  comparing the optimized ``fast`` engine loop against the ``legacy``
+  every-router loop (the pre-optimization scheduler, kept in-tree for
+  exactly this before/after comparison).  Both modes produce
+  bit-identical results; the harness asserts it on every run.  The
+  matrix emphasizes low offered loads because that is where saturation
+  studies spend most of their runs (the whole sub-saturation ladder plus
+  the zero-load reference) and where active-set scheduling pays off.
+  Note the in-binary ratio *understates* the improvement over the
+  original engine: router-level optimizations from the same work
+  (``__slots__`` flits, incremental occupancy counters, the single-pass
+  allocator) speed up the legacy loop too.
+
+* **baseline** — the same matrix timed against the *pre-optimization
+  tree*: the repo's root commit is checked out into a temporary git
+  worktree and each config is timed there in a subprocess.  This is the
+  true before/after number, free of the shared-gains bias above.
+  Skipped (with a note) when git or the worktree is unavailable.
+
+* **parallel** — wall-clock for one sweep grid executed serially
+  (``jobs=1``) and through the process pool, with a point-by-point
+  equality check between both result lists.  On a single-CPU machine the
+  pool adds overhead and the speedup reports < 1; on an N-core machine
+  expect close to min(N, tasks)x.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_bench.py           # full matrix
+    PYTHONPATH=src python benchmarks/run_bench.py --quick   # CI smoke
+    PYTHONPATH=src python benchmarks/run_bench.py --jobs 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+if __name__ == "__main__" and __package__ is None:
+    _src = Path(__file__).resolve().parent.parent / "src"
+    if _src.is_dir() and str(_src) not in sys.path:
+        sys.path.insert(0, str(_src))
+
+from repro.harness.parallel import SimTask, resolve_jobs, run_tasks
+from repro.metrics.sweep import point_from_result
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import Simulator
+
+#: (width, routing, injection rate) — low loads first; ``low_load`` in the
+#: summary aggregates the rates <= 0.02.
+ENGINE_MATRIX = (
+    (8, "footprint", 0.005),
+    (8, "footprint", 0.02),
+    (8, "dor", 0.02),
+    (16, "footprint", 0.02),
+    (8, "footprint", 0.05),
+    (8, "footprint", 0.3),
+)
+
+QUICK_MATRIX = (
+    (8, "footprint", 0.005),
+    (8, "footprint", 0.02),
+)
+
+LOW_LOAD_RATE = 0.02
+
+PARALLEL_RATES = (0.05, 0.1, 0.15, 0.2)
+QUICK_PARALLEL_RATES = (0.05, 0.15)
+
+
+def _bench_config(width: int, routing: str, rate: float, quick: bool):
+    cycles = (100, 200, 500) if quick else (200, 400, 1000)
+    return SimulationConfig(
+        width=width,
+        routing=routing,
+        injection_rate=rate,
+        warmup_cycles=cycles[0],
+        measure_cycles=cycles[1],
+        drain_cycles=cycles[2],
+        seed=1,
+    )
+
+
+def _result_signature(result):
+    return (
+        result.cycles_run,
+        result.accepted_flits,
+        result.offered_flits,
+        result.measured_ejected,
+        tuple(result.latency._samples),
+    )
+
+
+def _time_mode(config: SimulationConfig, mode: str, reps: int):
+    """Best-of-``reps`` cycles/sec plus the result signature."""
+    best = 0.0
+    signature = None
+    for _ in range(reps):
+        sim = Simulator(config, engine_mode=mode)
+        t0 = time.perf_counter()
+        result = sim.run()
+        elapsed = time.perf_counter() - t0
+        best = max(best, result.cycles_run / elapsed)
+        signature = _result_signature(result)
+    return best, signature
+
+
+def bench_engine(quick: bool, reps: int) -> dict:
+    matrix = QUICK_MATRIX if quick else ENGINE_MATRIX
+    entries = []
+    for width, routing, rate in matrix:
+        config = _bench_config(width, routing, rate, quick)
+        fast_cps, fast_sig = _time_mode(config, "fast", reps)
+        legacy_cps, legacy_sig = _time_mode(config, "legacy", reps)
+        if fast_sig != legacy_sig:
+            raise AssertionError(
+                f"fast/legacy results diverge for {width}x{width} "
+                f"{routing} @ {rate}"
+            )
+        speedup = fast_cps / legacy_cps
+        entries.append(
+            {
+                "width": width,
+                "routing": routing,
+                "injection_rate": rate,
+                "fast_cycles_per_sec": round(fast_cps, 1),
+                "legacy_cycles_per_sec": round(legacy_cps, 1),
+                "speedup": round(speedup, 3),
+                "results_identical": True,
+                # For the baseline cross-check (signature = cycles_run,
+                # accepted flits, offered flits, ejected, samples).
+                "cycles_run": fast_sig[0],
+                "accepted_flits": fast_sig[1],
+            }
+        )
+        print(
+            f"  {width}x{width} {routing:10s} rate={rate:<6} "
+            f"fast={fast_cps:8.0f} c/s  legacy={legacy_cps:8.0f} c/s  "
+            f"{speedup:.2f}x"
+        )
+
+    def geomean(values):
+        return math.exp(sum(math.log(v) for v in values) / len(values))
+
+    speedups = [e["speedup"] for e in entries]
+    low_load = [
+        e["speedup"]
+        for e in entries
+        if e["injection_rate"] <= LOW_LOAD_RATE + 1e-9
+    ]
+    return {
+        "reps": reps,
+        "matrix": entries,
+        "summary": {
+            "geomean_speedup": round(geomean(speedups), 3),
+            "low_load_geomean_speedup": round(geomean(low_load), 3),
+            "max_speedup": round(max(speedups), 3),
+        },
+    }
+
+
+_CHILD_TIMER = """\
+import json, sys, time
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import Simulator
+
+params = json.loads(sys.argv[1])
+reps = params.pop("reps")
+config = SimulationConfig(**params)
+best = 0.0
+result = None
+for _ in range(reps):
+    sim = Simulator(config)
+    t0 = time.perf_counter()
+    result = sim.run()
+    best = max(best, result.cycles_run / (time.perf_counter() - t0))
+print(json.dumps({
+    "cps": best,
+    "cycles_run": result.cycles_run,
+    "accepted_flits": result.accepted_flits,
+    "avg_latency": result.avg_latency,
+}))
+"""
+
+
+def _time_in_tree(tree: Path, config: SimulationConfig, reps: int) -> dict:
+    """Time ``config`` with the simulator from another source tree."""
+    params = {
+        "width": config.width,
+        "routing": config.routing,
+        "injection_rate": config.injection_rate,
+        "warmup_cycles": config.warmup_cycles,
+        "measure_cycles": config.measure_cycles,
+        "drain_cycles": config.drain_cycles,
+        "seed": config.seed,
+        "reps": reps,
+    }
+    env = dict(os.environ, PYTHONPATH=str(tree / "src"))
+    proc = subprocess.run(
+        [sys.executable, "-c", _CHILD_TIMER, json.dumps(params)],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=tree,
+        check=True,
+        timeout=600,
+    )
+    return json.loads(proc.stdout)
+
+
+def bench_baseline(quick: bool, reps: int, engine: dict) -> dict:
+    """Time the matrix on the repo's root commit (the seed tree)."""
+    repo = Path(__file__).resolve().parent.parent
+    try:
+        rev = subprocess.run(
+            ["git", "rev-list", "--max-parents=0", "HEAD"],
+            capture_output=True,
+            text=True,
+            cwd=repo,
+            check=True,
+            timeout=60,
+        ).stdout.split()[0]
+    except (subprocess.SubprocessError, OSError, IndexError) as exc:
+        print(f"  skipped: cannot resolve root commit ({exc})")
+        return {"skipped": str(exc)}
+
+    entries = []
+    with tempfile.TemporaryDirectory(prefix="bench-baseline-") as tmp:
+        tree = Path(tmp) / "tree"
+        try:
+            subprocess.run(
+                ["git", "worktree", "add", "--detach", str(tree), rev],
+                capture_output=True,
+                text=True,
+                cwd=repo,
+                check=True,
+                timeout=120,
+            )
+        except (subprocess.SubprocessError, OSError) as exc:
+            print(f"  skipped: cannot create worktree ({exc})")
+            return {"skipped": str(exc), "baseline_rev": rev}
+        try:
+            for entry in engine["matrix"]:
+                config = _bench_config(
+                    entry["width"],
+                    entry["routing"],
+                    entry["injection_rate"],
+                    quick,
+                )
+                try:
+                    child = _time_in_tree(tree, config, reps)
+                except (
+                    subprocess.SubprocessError,
+                    OSError,
+                    ValueError,
+                ) as exc:
+                    print(f"  skipped: baseline run failed ({exc})")
+                    return {"skipped": str(exc), "baseline_rev": rev}
+                speedup = entry["fast_cycles_per_sec"] / child["cps"]
+                matches = (
+                    child["cycles_run"] == entry["cycles_run"]
+                    and child["accepted_flits"] == entry["accepted_flits"]
+                )
+                entries.append(
+                    {
+                        "width": entry["width"],
+                        "routing": entry["routing"],
+                        "injection_rate": entry["injection_rate"],
+                        "baseline_cycles_per_sec": round(child["cps"], 1),
+                        "fast_cycles_per_sec": entry["fast_cycles_per_sec"],
+                        "speedup_vs_baseline": round(speedup, 3),
+                        "results_match_baseline": matches,
+                    }
+                )
+                print(
+                    f"  {entry['width']}x{entry['width']} "
+                    f"{entry['routing']:10s} "
+                    f"rate={entry['injection_rate']:<6} "
+                    f"baseline={child['cps']:8.0f} c/s  "
+                    f"fast={entry['fast_cycles_per_sec']:8.0f} c/s  "
+                    f"{speedup:.2f}x"
+                )
+        finally:
+            subprocess.run(
+                ["git", "worktree", "remove", "--force", str(tree)],
+                capture_output=True,
+                cwd=repo,
+                timeout=120,
+            )
+
+    def geomean(values):
+        return math.exp(sum(math.log(v) for v in values) / len(values))
+
+    speedups = [e["speedup_vs_baseline"] for e in entries]
+    return {
+        "baseline_rev": rev,
+        "matrix": entries,
+        "summary": {
+            "geomean_speedup": round(geomean(speedups), 3),
+            "max_speedup": round(max(speedups), 3),
+        },
+    }
+
+
+def bench_parallel(quick: bool, jobs: int | str | None) -> dict:
+    rates = QUICK_PARALLEL_RATES if quick else PARALLEL_RATES
+    config = _bench_config(8, "footprint", 0.05, quick)
+    tasks = [SimTask(config, rate=rate) for rate in rates]
+    workers = resolve_jobs(jobs if jobs is not None else "auto")
+
+    t0 = time.perf_counter()
+    serial = run_tasks(tasks, jobs=1)
+    serial_seconds = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    pooled = run_tasks(tasks, jobs=workers)
+    parallel_seconds = time.perf_counter() - t0
+
+    serial_points = [
+        point_from_result(r, rate) for r, rate in zip(serial, rates)
+    ]
+    pooled_points = [
+        point_from_result(r, rate) for r, rate in zip(pooled, rates)
+    ]
+    identical = serial_points == pooled_points
+    if not identical:
+        raise AssertionError("parallel sweep diverged from serial sweep")
+
+    # With one resolved worker run_tasks stays in-process, so force the
+    # pool once to prove results survive the process boundary unchanged.
+    forced = run_tasks(tasks, jobs=max(2, workers))
+    forced_points = [
+        point_from_result(r, rate) for r, rate in zip(forced, rates)
+    ]
+    if forced_points != serial_points:
+        raise AssertionError("process-pool sweep diverged from serial sweep")
+
+    speedup = serial_seconds / parallel_seconds
+    print(
+        f"  {len(tasks)} tasks: serial={serial_seconds:.2f}s  "
+        f"jobs={workers}: {parallel_seconds:.2f}s  "
+        f"{speedup:.2f}x  identical={identical}  pool-identical=True"
+    )
+    return {
+        "tasks": len(tasks),
+        "rates": list(rates),
+        "jobs": workers,
+        "serial_seconds": round(serial_seconds, 3),
+        "parallel_seconds": round(parallel_seconds, 3),
+        "speedup": round(speedup, 3),
+        "results_identical": identical,
+        "pool_results_identical": True,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small matrix and short runs (CI smoke; ~10s)",
+    )
+    parser.add_argument(
+        "--reps",
+        type=int,
+        default=None,
+        help="timing repetitions per config (default: 3, or 1 with --quick)",
+    )
+    parser.add_argument(
+        "--jobs",
+        default=None,
+        metavar="N|auto",
+        help="worker count for the parallel section (default: auto)",
+    )
+    parser.add_argument(
+        "--output-dir",
+        default=str(Path(__file__).resolve().parent),
+        help="where to write BENCH_<timestamp>.json",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="skip timing the repo's root commit in a git worktree",
+    )
+    args = parser.parse_args(argv)
+    if args.reps is not None and args.reps < 1:
+        parser.error(f"--reps must be >= 1, got {args.reps}")
+    reps = args.reps if args.reps is not None else (1 if args.quick else 3)
+
+    print(f"engine: fast vs legacy ({'quick' if args.quick else 'full'} "
+          f"matrix, best of {reps})")
+    engine = bench_engine(args.quick, reps)
+    if args.no_baseline:
+        baseline = {"skipped": "--no-baseline"}
+    else:
+        print("baseline: fast vs seed tree (root commit, subprocess)")
+        baseline = bench_baseline(args.quick, reps, engine)
+    print("parallel: serial vs process pool")
+    parallel = bench_parallel(args.quick, args.jobs)
+
+    payload = {
+        "schema": "footprint-noc-bench/1",
+        "timestamp": time.strftime("%Y%m%dT%H%M%S"),
+        "quick": args.quick,
+        "python": sys.version.split()[0],
+        "cpu_count": os.cpu_count(),
+        "engine": engine,
+        "baseline": baseline,
+        "parallel": parallel,
+    }
+    out_dir = Path(args.output_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    out_path = out_dir / f"BENCH_{payload['timestamp']}.json"
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    summary = engine["summary"]
+    print(
+        f"engine speedup vs legacy loop: geomean "
+        f"{summary['geomean_speedup']}x, low-load geomean "
+        f"{summary['low_load_geomean_speedup']}x, "
+        f"max {summary['max_speedup']}x"
+    )
+    if "summary" in baseline:
+        bsum = baseline["summary"]
+        print(
+            f"engine speedup vs seed tree: geomean "
+            f"{bsum['geomean_speedup']}x, max {bsum['max_speedup']}x"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,6 +24,17 @@ from repro.sim.config import SimulationConfig
 from repro.traffic.patterns import PATTERNS
 
 
+def _jobs_arg(text: str) -> str:
+    """Validate --jobs at parse time so errors are argparse-clean."""
+    from repro.harness.parallel import resolve_jobs
+
+    try:
+        resolve_jobs(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+    return text
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="footprint-noc",
@@ -79,6 +90,17 @@ def _build_parser() -> argparse.ArgumentParser:
         "--scale", choices=["smoke", "bench", "paper"], default="bench"
     )
     experiment.add_argument("--seed", type=int, default=1)
+    experiment.add_argument(
+        "--jobs",
+        default=None,
+        type=_jobs_arg,
+        metavar="N|auto",
+        help=(
+            "worker processes for the simulation grid (default: "
+            "REPRO_JOBS, else serial; 'auto' = one per CPU); results "
+            "are identical for any value"
+        ),
+    )
 
     sub.add_parser("list", help="list routing algorithms and traffic patterns")
     return parser
@@ -128,6 +150,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         args.scale
     ]
     figure = args.figure
+    jobs = args.jobs
     if figure == "fig2":
         results = [
             exp.fig2_congestion_tree(r)
@@ -137,14 +160,14 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     elif figure == "fig5":
         print(
             reporting.report_fig5(
-                exp.fig5_latency_throughput(scale, seed=args.seed),
+                exp.fig5_latency_throughput(scale, seed=args.seed, jobs=jobs),
                 "Fig. 5 — single-flit packets",
             )
         )
     elif figure == "fig6":
         print(
             reporting.report_fig5(
-                exp.fig6_variable_packet_size(scale, seed=args.seed),
+                exp.fig6_variable_packet_size(scale, seed=args.seed, jobs=jobs),
                 "Fig. 6 — {1..6}-flit packets",
             )
         )
@@ -152,16 +175,29 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         for pattern in exp.FIG5_PATTERNS:
             print(
                 reporting.report_fig7(
-                    exp.fig7_vc_sweep(scale, pattern, seed=args.seed), pattern
+                    exp.fig7_vc_sweep(scale, pattern, seed=args.seed, jobs=jobs),
+                    pattern,
                 )
             )
             print()
     elif figure == "fig8":
-        print(reporting.report_fig8(exp.fig8_network_size(scale, seed=args.seed)))
+        print(
+            reporting.report_fig8(
+                exp.fig8_network_size(scale, seed=args.seed, jobs=jobs)
+            )
+        )
     elif figure == "fig9":
-        print(reporting.report_fig9(exp.fig9_hotspot(scale, seed=args.seed)))
+        print(
+            reporting.report_fig9(
+                exp.fig9_hotspot(scale, seed=args.seed, jobs=jobs)
+            )
+        )
     elif figure == "fig10":
-        print(reporting.report_fig10(exp.fig10_parsec(scale, seed=args.seed)))
+        print(
+            reporting.report_fig10(
+                exp.fig10_parsec(scale, seed=args.seed, jobs=jobs)
+            )
+        )
     elif figure == "table1":
         print(reporting.report_table1(exp.table1_adaptiveness()))
     elif figure == "cost":

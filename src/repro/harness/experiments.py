@@ -10,6 +10,11 @@ and sweep density, so the same code serves three purposes:
 
 The environment variable ``REPRO_SCALE`` (``smoke``/``bench``/``paper``)
 overrides the scale used by the benchmark suite.
+
+Each sweep driver flattens its simulation grid into independent tasks and
+runs them through :mod:`repro.harness.parallel`; pass ``jobs`` (or set
+``REPRO_JOBS``) to distribute them over worker processes.  Results are
+bit-identical for any worker count.
 """
 
 from __future__ import annotations
@@ -20,8 +25,9 @@ from dataclasses import dataclass, field
 from repro.core.adaptiveness import qualitative_comparison
 from repro.core.congestion import CongestionTree, extract_congestion_tree
 from repro.core.cost import CostModel
+from repro.harness.parallel import SimTask, run_configs, run_tasks
 from repro.metrics.curves import LatencyThroughputCurve
-from repro.metrics.sweep import SweepPoint, run_point
+from repro.metrics.sweep import point_from_result
 from repro.routing.registry import create_routing
 from repro.sim.config import SimulationConfig
 from repro.sim.engine import Simulator
@@ -184,19 +190,33 @@ def latency_throughput_curves(
     pattern: str,
     packet_size_range: tuple[int, int] | None = None,
     seed: int = 1,
+    jobs: int | str | None = None,
 ) -> list[LatencyThroughputCurve]:
-    """One latency-throughput curve per algorithm for ``pattern``."""
+    """One latency-throughput curve per algorithm for ``pattern``.
+
+    The full algorithm x rate grid is one flat task list, so with
+    ``jobs > 1`` every point of every curve simulates concurrently.
+    """
+    tasks = [
+        SimTask(
+            scale.config(
+                routing=algorithm,
+                traffic=pattern,
+                packet_size_range=packet_size_range,
+                seed=seed,
+            ),
+            rate=rate,
+            key=(algorithm, rate),
+        )
+        for algorithm in algorithms
+        for rate in scale.rates
+    ]
+    results = iter(run_tasks(tasks, jobs))
     curves = []
     for algorithm in algorithms:
-        config = scale.config(
-            routing=algorithm,
-            traffic=pattern,
-            packet_size_range=packet_size_range,
-            seed=seed,
-        )
         curve = LatencyThroughputCurve(label=algorithm)
         for rate in scale.rates:
-            curve.add(run_point(config, rate))
+            curve.add(point_from_result(next(results), rate))
         curves.append(curve)
     return curves
 
@@ -206,10 +226,11 @@ def fig5_latency_throughput(
     patterns: tuple[str, ...] = FIG5_PATTERNS,
     algorithms: tuple[str, ...] = FIG5_ALGORITHMS,
     seed: int = 1,
+    jobs: int | str | None = None,
 ) -> dict[str, list[LatencyThroughputCurve]]:
     """Fig. 5: single-flit latency-throughput for every algorithm."""
     return {
-        p: latency_throughput_curves(scale, algorithms, p, seed=seed)
+        p: latency_throughput_curves(scale, algorithms, p, seed=seed, jobs=jobs)
         for p in patterns
     }
 
@@ -219,11 +240,12 @@ def fig6_variable_packet_size(
     patterns: tuple[str, ...] = FIG5_PATTERNS,
     algorithms: tuple[str, ...] = FIG5_ALGORITHMS,
     seed: int = 1,
+    jobs: int | str | None = None,
 ) -> dict[str, list[LatencyThroughputCurve]]:
     """Fig. 6: {1..6}-flit uniformly distributed packet sizes."""
     return {
         p: latency_throughput_curves(
-            scale, algorithms, p, packet_size_range=(1, 6), seed=seed
+            scale, algorithms, p, packet_size_range=(1, 6), seed=seed, jobs=jobs
         )
         for p in patterns
     }
@@ -237,19 +259,31 @@ def fig7_vc_sweep(
     pattern: str,
     vc_counts: tuple[int, ...] | None = None,
     seed: int = 1,
+    jobs: int | str | None = None,
 ) -> dict[int, list[LatencyThroughputCurve]]:
     """Fig. 7: DBAR vs Footprint as the number of VCs varies."""
     counts = vc_counts if vc_counts is not None else scale.vc_counts
+    algorithms = ("dbar", "footprint")
+    tasks = [
+        SimTask(
+            scale.config(
+                routing=algorithm, traffic=pattern, num_vcs=vcs, seed=seed
+            ),
+            rate=rate,
+            key=(vcs, algorithm, rate),
+        )
+        for vcs in counts
+        for algorithm in algorithms
+        for rate in scale.rates
+    ]
+    results = iter(run_tasks(tasks, jobs))
     out: dict[int, list[LatencyThroughputCurve]] = {}
     for vcs in counts:
         curves = []
-        for algorithm in ("dbar", "footprint"):
-            config = scale.config(
-                routing=algorithm, traffic=pattern, num_vcs=vcs, seed=seed
-            )
+        for algorithm in algorithms:
             curve = LatencyThroughputCurve(label=f"{algorithm}/{vcs}vc")
             for rate in scale.rates:
-                curve.add(run_point(config, rate))
+                curve.add(point_from_result(next(results), rate))
             curves.append(curve)
         out[vcs] = curves
     return out
@@ -285,20 +319,36 @@ def fig8_network_size(
     widths: tuple[int, ...] = (4, 8, 16),
     patterns: tuple[str, ...] = FIG5_PATTERNS,
     seed: int = 1,
+    jobs: int | str | None = None,
 ) -> list[Fig8Result]:
     """Fig. 8: DBAR throughput normalized to Footprint across mesh sizes."""
+    algorithms = ("dbar", "footprint")
+    tasks = [
+        SimTask(
+            scale.config(
+                routing=algorithm, traffic=pattern, width=width, seed=seed
+            ),
+            rate=rate,
+            key=(pattern, width, algorithm, rate),
+        )
+        for pattern in patterns
+        for width in widths
+        for algorithm in algorithms
+        for rate in scale.rates
+    ]
+    sim_results = iter(run_tasks(tasks, jobs))
+    zero_index = scale.rates.index(min(scale.rates))
     results = []
     for pattern in patterns:
         for width in widths:
             saturations = {}
-            for algorithm in ("dbar", "footprint"):
-                config = scale.config(
-                    routing=algorithm, traffic=pattern, width=width, seed=seed
-                )
-                zero = run_point(config, min(scale.rates)).avg_latency
+            for algorithm in algorithms:
                 curve = LatencyThroughputCurve(label=algorithm)
                 for rate in scale.rates:
-                    curve.add(run_point(config, rate))
+                    curve.add(point_from_result(next(sim_results), rate))
+                # The lowest sweep rate doubles as the zero-load
+                # reference; no separate simulation needed.
+                zero = curve.points[zero_index].avg_latency
                 saturations[algorithm] = _saturation_from_curve(curve, zero)
             results.append(
                 Fig8Result(
@@ -318,6 +368,7 @@ def fig9_hotspot(
     scale: Scale,
     algorithms: tuple[str, ...] = ("dbar", "footprint"),
     seed: int = 1,
+    jobs: int | str | None = None,
 ) -> dict[str, list[tuple[float, float, bool]]]:
     """Fig. 9: background latency vs hotspot injection rate.
 
@@ -326,18 +377,23 @@ def fig9_hotspot(
     drained)`` tuples; the paper's claim is that DBAR's background latency
     collapses at a much lower hotspot rate than Footprint's.
     """
+    configs = [
+        scale.config(
+            routing=algorithm,
+            traffic="hotspot",
+            hotspot_rate=rate,
+            background_rate=0.3,
+            seed=seed,
+        )
+        for algorithm in algorithms
+        for rate in scale.hotspot_rates
+    ]
+    results = iter(run_configs(configs, jobs))
     out: dict[str, list[tuple[float, float, bool]]] = {}
     for algorithm in algorithms:
         series = []
         for rate in scale.hotspot_rates:
-            config = scale.config(
-                routing=algorithm,
-                traffic="hotspot",
-                hotspot_rate=rate,
-                background_rate=0.3,
-                seed=seed,
-            )
-            result = Simulator(config).run()
+            result = next(results)
             series.append(
                 (rate, result.flow_latency("background"), result.drained)
             )
@@ -377,10 +433,12 @@ def fig10_parsec(
         ("bodytrack", "canneal"),
     ),
     seed: int = 1,
+    jobs: int | str | None = None,
 ) -> list[Fig10Entry]:
     """Fig. 10: DBAR vs Footprint on pairs of PARSEC-like traces."""
     mesh = Mesh2D(scale.width)
-    entries = []
+    algorithms = ("dbar", "footprint")
+    configs = []
     for pair in pairs:
         trace = merge_traces(
             generate_parsec_trace(
@@ -390,18 +448,24 @@ def fig10_parsec(
                 pair[1], mesh, scale.trace_cycles, seed=seed + 1
             ),
         )
-        measured: dict[str, SimulationResult] = {}
-        for algorithm in ("dbar", "footprint"):
-            config = scale.config(
-                routing=algorithm,
-                traffic="trace",
-                trace=trace,
-                warmup_cycles=scale.trace_cycles // 10,
-                measure_cycles=scale.trace_cycles,
-                drain_cycles=scale.drain,
-                seed=seed,
+        for algorithm in algorithms:
+            configs.append(
+                scale.config(
+                    routing=algorithm,
+                    traffic="trace",
+                    trace=trace,
+                    warmup_cycles=scale.trace_cycles // 10,
+                    measure_cycles=scale.trace_cycles,
+                    drain_cycles=scale.drain,
+                    seed=seed,
+                )
             )
-            measured[algorithm] = Simulator(config).run()
+    results = iter(run_configs(configs, jobs))
+    entries = []
+    for pair in pairs:
+        measured: dict[str, SimulationResult] = {
+            algorithm: next(results) for algorithm in algorithms
+        }
         entries.append(
             Fig10Entry(
                 workloads=pair,

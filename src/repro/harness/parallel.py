@@ -1,0 +1,121 @@
+"""Parallel simulation execution across worker processes.
+
+Experiment drivers produce *grids* of independent simulations (algorithm x
+pattern x injection rate); this module runs such grids through a
+:class:`concurrent.futures.ProcessPoolExecutor` while keeping results
+bit-identical to a serial run:
+
+* each :class:`SimTask` is a self-contained, picklable unit — the worker
+  rebuilds the simulator from the task's config, so results depend only
+  on the task, never on which worker ran it or in what order;
+* results are collected **in task order** regardless of completion order;
+* ``jobs=1`` bypasses the pool entirely and runs in-process, which is
+  also the fallback for single-task grids.
+
+The worker count comes from, in order of precedence: an explicit ``jobs``
+argument (CLI ``--jobs``), the ``REPRO_JOBS`` environment variable, and
+finally a serial default of 1 — parallelism is opt-in at the library
+level so programmatic callers (and tests that stub out simulation
+internals) never fork workers implicitly.  ``"auto"`` maps to the
+machine's CPU count.
+"""
+
+from __future__ import annotations
+
+import os
+import zlib
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.sim.config import SimulationConfig
+from repro.sim.results import SimulationResult
+
+
+@dataclass(frozen=True)
+class SimTask:
+    """One picklable unit of simulation work.
+
+    ``rate`` overrides the config's injection rate (the common sweep
+    case); ``None`` runs the config as-is.  ``key`` is an opaque label
+    carried alongside the task for the caller's bookkeeping — it is not
+    interpreted here.
+    """
+
+    config: SimulationConfig
+    rate: float | None = None
+    key: object = None
+
+    def resolved_config(self) -> SimulationConfig:
+        """The exact configuration the worker will simulate."""
+        if self.rate is None:
+            return self.config
+        return self.config.with_(injection_rate=self.rate)
+
+
+def derive_task_seed(base_seed: int, name: str) -> int:
+    """Derive a stable per-task seed from a base seed and a task name.
+
+    Uses CRC-32 rather than :func:`hash` so the value is identical across
+    interpreter runs and across process boundaries (``hash`` of a string
+    is salted per process via ``PYTHONHASHSEED``).  Mirrors the stream
+    derivation of :class:`repro.sim.rng.RngStreams`.
+    """
+    return (base_seed * 0x9E3779B1 + zlib.crc32(name.encode("utf-8"))) % 2**63
+
+
+def resolve_jobs(jobs: int | str | None = None) -> int:
+    """Resolve a worker count from ``jobs`` / ``REPRO_JOBS`` / serial.
+
+    ``None`` defers to the ``REPRO_JOBS`` environment variable; an unset
+    or empty variable means serial (1).  ``"auto"`` maps to the machine's
+    CPU count.  The result is always >= 1.
+    """
+    if jobs is None:
+        jobs = os.environ.get("REPRO_JOBS", "").strip() or "1"
+    if isinstance(jobs, str):
+        text = jobs.strip().lower()
+        if text == "auto":
+            return max(1, os.cpu_count() or 1)
+        try:
+            jobs = int(text)
+        except ValueError:
+            raise ValueError(
+                f"jobs must be a positive integer or 'auto', got {jobs!r}"
+            ) from None
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+def _run_task(task: SimTask) -> SimulationResult:
+    # Imported lazily: the engine pulls in repro.metrics, and importing it
+    # at module level would recreate the circularity sweep.py avoids.
+    from repro.sim.engine import Simulator
+
+    return Simulator(task.resolved_config()).run()
+
+
+def run_tasks(
+    tasks: Iterable[SimTask], jobs: int | str | None = None
+) -> list[SimulationResult]:
+    """Run every task, returning results in task order.
+
+    With ``jobs`` resolving to 1 (or a grid of at most one task) the
+    tasks run serially in-process; otherwise they are distributed over a
+    process pool.  Both paths produce identical results because each task
+    is an independent, deterministic simulation.
+    """
+    task_list = list(tasks)
+    workers = min(resolve_jobs(jobs), len(task_list))
+    if workers <= 1:
+        return [_run_task(task) for task in task_list]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(_run_task, task_list, chunksize=1))
+
+
+def run_configs(
+    configs: Iterable[SimulationConfig], jobs: int | str | None = None
+) -> list[SimulationResult]:
+    """Run one simulation per config, results in config order."""
+    return run_tasks((SimTask(config) for config in configs), jobs)

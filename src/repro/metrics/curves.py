@@ -24,7 +24,7 @@ class LatencyThroughputCurve:
         self.points.append(point)
 
     def stable_points(self, zero_load: float) -> list[SweepPoint]:
-        return [p for p in self.points if not p.saturated_vs(zero_load)]
+        return [p for p in self.points if not p.is_saturated(zero_load)]
 
     def saturation_rate(self, zero_load: float) -> float:
         """Highest stable injection rate on this curve (0.0 if none)."""

@@ -7,13 +7,20 @@ point counts as saturated when its mean latency exceeds a multiple of the
 zero-load latency (default 3x) or the run fails to drain its measured
 packets; the saturation throughput is then refined by bisection between
 the last stable and the first saturated point.
+
+Sweeps accept a ``jobs`` argument (see :mod:`repro.harness.parallel`):
+the rates of a sweep are independent simulations, so with ``jobs > 1``
+they run across worker processes.  ``saturation_throughput`` additionally
+runs its coarse scan *speculatively* in parallel — the whole rate ladder
+is launched at once and the scan result read off the collected points —
+which trades some wasted work above the saturation point for wall-clock
+time.  Results are bit-identical to the serial scan in every case.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable
 
 from repro.sim.config import SimulationConfig
 from repro.sim.results import SimulationResult
@@ -31,18 +38,13 @@ class SweepPoint:
     accepted_rate: float
     drained: bool
 
-    @property
-    def saturated_vs(self) -> Callable[[float], bool]:
-        """Saturation predicate given a zero-load latency."""
-
-        def check(zero_load: float) -> bool:
-            if not self.drained:
-                return True
-            if math.isnan(self.avg_latency):
-                return True
-            return self.avg_latency > SATURATION_LATENCY_FACTOR * zero_load
-
-        return check
+    def is_saturated(self, zero_load: float) -> bool:
+        """Whether this point is saturated relative to ``zero_load``."""
+        if not self.drained:
+            return True
+        if math.isnan(self.avg_latency):
+            return True
+        return self.avg_latency > SATURATION_LATENCY_FACTOR * zero_load
 
 
 def run_point(config: SimulationConfig, rate: float) -> SweepPoint:
@@ -52,10 +54,11 @@ def run_point(config: SimulationConfig, rate: float) -> SweepPoint:
     from repro.sim.engine import Simulator
 
     result = Simulator(config.with_(injection_rate=rate)).run()
-    return _to_point(result, rate)
+    return point_from_result(result, rate)
 
 
-def _to_point(result: SimulationResult, rate: float) -> SweepPoint:
+def point_from_result(result: SimulationResult, rate: float) -> SweepPoint:
+    """Summarize a finished simulation as a sweep point."""
     return SweepPoint(
         injection_rate=rate,
         avg_latency=result.avg_latency,
@@ -64,11 +67,29 @@ def _to_point(result: SimulationResult, rate: float) -> SweepPoint:
     )
 
 
+def sweep_points(
+    config: SimulationConfig,
+    rates: list[float],
+    jobs: int | str | None = None,
+) -> list[SweepPoint]:
+    """Simulate every rate, distributing across ``jobs`` workers."""
+    from repro.harness.parallel import SimTask, run_tasks
+
+    tasks = [SimTask(config, rate=rate) for rate in rates]
+    results = run_tasks(tasks, jobs)
+    return [
+        point_from_result(result, rate)
+        for result, rate in zip(results, rates)
+    ]
+
+
 def injection_sweep(
-    config: SimulationConfig, rates: list[float]
+    config: SimulationConfig,
+    rates: list[float],
+    jobs: int | str | None = None,
 ) -> list[SweepPoint]:
     """Simulate every rate in ``rates`` (ascending recommended)."""
-    return [run_point(config, r) for r in rates]
+    return sweep_points(config, rates, jobs)
 
 
 def zero_load_latency(config: SimulationConfig, rate: float = 0.005) -> float:
@@ -84,27 +105,50 @@ def saturation_throughput(
     coarse_step: float = 0.05,
     refine_steps: int = 3,
     zero_load: float | None = None,
+    jobs: int | str | None = None,
 ) -> float:
     """Find the saturation throughput by coarse scan plus bisection.
 
     Returns the highest offered load (flits/node/cycle) that is still
     stable.  ``zero_load`` may be supplied to avoid re-measuring it.
+
+    With ``jobs > 1`` the coarse scan is speculative: the whole ladder of
+    rates runs at once and the first saturated rung is read off the
+    results.  The serial scan stops at that rung instead, but inspects
+    the same deterministic points, so both return the same value.  The
+    bisection refinement is inherently sequential and always runs
+    serially.
     """
+    from repro.harness.parallel import resolve_jobs
+
     if zero_load is None:
         zero_load = zero_load_latency(config)
     if math.isnan(zero_load):
         raise ValueError("zero-load run produced no packets; raise the rate")
 
-    last_stable = 0.0
-    first_saturated = None
+    ladder: list[float] = []
     rate = start
     while rate <= stop + 1e-9:
-        point = run_point(config, rate)
-        if point.saturated_vs(zero_load):
-            first_saturated = rate
-            break
-        last_stable = rate
+        ladder.append(rate)
         rate = round(rate + coarse_step, 10)
+
+    last_stable = 0.0
+    first_saturated = None
+    if resolve_jobs(jobs) > 1:
+        # Speculative parallel scan: launch every rung, then walk the
+        # collected points exactly like the serial scan would.
+        for point in sweep_points(config, ladder, jobs):
+            if point.is_saturated(zero_load):
+                first_saturated = point.injection_rate
+                break
+            last_stable = point.injection_rate
+    else:
+        for rung in ladder:
+            point = run_point(config, rung)
+            if point.is_saturated(zero_load):
+                first_saturated = rung
+                break
+            last_stable = rung
     if first_saturated is None:
         return last_stable
 
@@ -112,7 +156,7 @@ def saturation_throughput(
     for _ in range(refine_steps):
         mid = (lo + hi) / 2.0
         point = run_point(config, mid)
-        if point.saturated_vs(zero_load):
+        if point.is_saturated(zero_load):
             hi = mid
         else:
             lo = mid

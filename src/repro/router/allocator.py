@@ -60,15 +60,23 @@ def allocate_vcs(
     Grants; the caller applies them to input VCs and output ports.
     """
     # Stage 1: each input VC selects its single best grantable request.
+    # Single pass per input VC: track the best priority seen so far and
+    # the requests tied at it, in request order — identical selections
+    # and identical rng consumption to the filter-then-max formulation.
     selections: dict[tuple[Direction, int], list[tuple[Priority, InputVc]]] = {}
     for input_vc, reqs in requests:
-        grantable = [
-            r for r in reqs if outputs[r.direction].grantable(r.vc)
-        ]
-        if not grantable:
+        best_priority: Priority | None = None
+        best: list[VcRequest] = []
+        for r in reqs:
+            if not outputs[r.direction].grantable(r.vc):
+                continue
+            if best_priority is None or r.priority > best_priority:
+                best_priority = r.priority
+                best = [r]
+            elif r.priority == best_priority:
+                best.append(r)
+        if best_priority is None:
             continue
-        best_priority = max(r.priority for r in grantable)
-        best = [r for r in grantable if r.priority == best_priority]
         choice = best[0] if len(best) == 1 else best[rng.randrange(len(best))]
         selections.setdefault((choice.direction, choice.vc), []).append(
             (choice.priority, input_vc)
@@ -77,12 +85,18 @@ def allocate_vcs(
     # Stage 2: each downstream VC grants its best selecting input.
     grants: list[VaGrant] = []
     for (direction, vc), contenders in selections.items():
-        best_priority = max(p for p, _ in contenders)
-        finalists = [ivc for p, ivc in contenders if p == best_priority]
+        top: Priority | None = None
+        finalists: list[InputVc] = []
+        for p, ivc in contenders:
+            if top is None or p > top:
+                top = p
+                finalists = [ivc]
+            elif p == top:
+                finalists.append(ivc)
         winner = (
             finalists[0]
             if len(finalists) == 1
             else finalists[rng.randrange(len(finalists))]
         )
-        grants.append(VaGrant(winner, direction, vc, best_priority))
+        grants.append(VaGrant(winner, direction, vc, top))
     return grants

@@ -21,7 +21,7 @@ def _next_packet_id() -> int:
     return next(_packet_ids)
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """A network packet.
 
@@ -87,7 +87,7 @@ class Packet:
         ]
 
 
-@dataclass
+@dataclass(slots=True)
 class Flit:
     """A flow-control digit of a packet.
 

@@ -251,8 +251,14 @@ class OutputPort:
             return None
         return self.fifo.popleft()
 
-    def credit_return(self, vc: int) -> None:
-        """A downstream buffer slot freed; finish atomic drains if complete."""
+    def credit_return(self, vc: int) -> bool:
+        """A downstream buffer slot freed; finish atomic drains if complete.
+
+        Returns ``True`` when the credit completed an atomic drain and
+        released the VC — the one credit event that requires an allocation
+        round at the owning router (to consume and clear the
+        freshly-released set); plain counter updates do not.
+        """
         self.credits[vc] += 1
         if self.credits[vc] > self.downstream_depth:
             raise FlowControlError(
@@ -261,11 +267,14 @@ class OutputPort:
         if vc != self.escape_vc:
             self._adaptive_credits += 1
         if self._draining[vc]:
-            self._check_drained(vc)
+            return self._check_drained(vc)
+        return False
 
-    def _check_drained(self, vc: int) -> None:
+    def _check_drained(self, vc: int) -> bool:
         if self.credits[vc] == self.downstream_depth:
             self._release(vc)
+            return True
+        return False
 
     def new_cycle(self) -> None:
         """Reset the per-cycle switch acceptance counter."""

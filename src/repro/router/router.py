@@ -111,6 +111,9 @@ class Router:
             for d in ports
         }
         self._port_order = list(ports)
+        # Output ports as a plain list: route_and_allocate touches every
+        # port every cycle and list iteration beats dict-view iteration.
+        self._ports_list = list(self.output_ports.values())
         self._sa_port_offset = node % max(1, len(ports))
         self._vc_arbiters: dict[Direction, RoundRobinArbiter] = {
             d: RoundRobinArbiter(config.num_vcs) for d in ports
@@ -135,6 +138,14 @@ class Router:
         # Flits currently inside the router (input FIFOs + output FIFOs);
         # lets the engine skip completely quiescent routers.
         self.inflight = 0
+        # Flits staged in output FIFOs only; lets the engine skip link
+        # traversal for routers whose flits are all waiting in input VCs.
+        self.staged_flits = 0
+        # Set when a credit arrives; a returning credit can release an
+        # output VC (atomic reallocation), so the router must run one
+        # allocation round that cycle even with no flits buffered — the
+        # engine's active-set scheduler checks this flag and clears it.
+        self.credit_pending = False
         # Input VCs in the ROUTING state, keyed by (direction, vc index) so
         # iteration order is deterministic (insertion order).  Maintained
         # incrementally instead of scanning every VC every cycle.
@@ -157,7 +168,11 @@ class Router:
 
     def receive_credit(self, direction: Direction, vc: int) -> None:
         """Deliver a returning credit for output port ``direction``."""
-        self.output_ports[direction].credit_return(vc)
+        if self.output_ports[direction].credit_return(vc):
+            # The credit completed an atomic drain and released the VC;
+            # an allocation round must run this cycle to observe (and
+            # then clear) the freshly-released set.
+            self.credit_pending = True
 
     def enable_blocking_sampling(self, enabled: bool) -> None:
         """Toggle the purity-of-blocking instrumentation."""
@@ -177,6 +192,7 @@ class Router:
                 flit, vc = popped
                 sent.append((direction, vc, flit))
                 self.inflight -= 1
+                self.staged_flits -= 1
         return sent
 
     def route_and_allocate(self) -> None:
@@ -185,13 +201,14 @@ class Router:
         # ownership at any output port invalidates cached VC requests.
         # Computed before the early-outs so freshly-freed-VC information
         # is always consumed by exactly one allocation round.
+        ports_list = self._ports_list
         state_version = 0
-        for port in self.output_ports.values():
+        for port in ports_list:
             port.new_cycle()
             state_version += port.version
 
         if self.inflight == 0 or not self._pending:
-            for port in self.output_ports.values():
+            for port in ports_list:
                 port.clear_fresh()
             return
 
@@ -231,7 +248,19 @@ class Router:
 
         # This allocation round has consumed the freshly-freed-VC
         # information; freed VCs become plain idle from the next round on.
-        for port in self.output_ports.values():
+        for port in ports_list:
+            port.clear_fresh()
+
+    def clear_fresh_only(self) -> None:
+        """End-of-round cleanup for a credit-woken router with no flits.
+
+        Equivalent to the empty-router early-out of
+        :meth:`route_and_allocate` minus the per-port cycle reset, which
+        only matters ahead of a switch-traversal round (and any such
+        round is preceded by a full :meth:`route_and_allocate` in the
+        same cycle).
+        """
+        for port in self._ports_list:
             port.clear_fresh()
 
     def _context(self, ivc: InputVc, head: Flit) -> RouteContext:
@@ -285,6 +314,7 @@ class Router:
             assert out_vc is not None
             flit = ivc.pop()
             out_port.send(flit, out_vc)
+            self.staged_flits += 1
             if ivc.state is VcState.ROUTING:
                 # The tail left and the next packet's head is already
                 # queued behind it.

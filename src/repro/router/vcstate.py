@@ -33,6 +33,19 @@ class VcState(enum.Enum):
 class InputVc:
     """One virtual channel of one router input port."""
 
+    __slots__ = (
+        "direction",
+        "index",
+        "depth",
+        "fifo",
+        "state",
+        "out_direction",
+        "out_vc",
+        "committed_dir",
+        "route_cache_key",
+        "route_cache",
+    )
+
     def __init__(self, direction: Direction, index: int, depth: int) -> None:
         self.direction = direction
         self.index = index

@@ -38,11 +38,15 @@ class Source:
         self._vc_rr = 0
         #: Total flits ever enqueued, for offered-load accounting.
         self.offered_flits = 0
+        #: Flits enqueued but not yet injected; the engine skips the
+        #: injection call entirely while this is zero.
+        self.pending_flits = 0
 
     def enqueue(self, packet: Packet) -> None:
         """Add a generated packet to the source queue."""
         self.queue.append(packet)
         self.offered_flits += packet.size
+        self.pending_flits += packet.size
 
     @property
     def backlog(self) -> int:
@@ -71,6 +75,7 @@ class Source:
         if not ivc.has_space:
             return False
         flit = self._current_flits.popleft()
+        self.pending_flits -= 1
         self.router.receive_flit(Direction.LOCAL, self._vc, flit)
         if not self._current_flits:
             self._current_packet = None
@@ -111,6 +116,9 @@ class Sink:
         self._budget = 0.0
         #: Flits consumed, total and per cycle-window accounting.
         self.ejected_flits = 0
+        #: Flits currently buffered, maintained incrementally: the engine
+        #: checks it for every sink every cycle to skip empty ones.
+        self.occupancy = 0
 
     def receive(self, vc: int, flit: Flit) -> None:
         """A flit arrives from the router's LOCAL output port."""
@@ -121,6 +129,7 @@ class Sink:
                 f"misrouted flit {flit!r} delivered to node {self.node}"
             )
         self.buffers[vc].append(flit)
+        self.occupancy += 1
 
     def drain(self, cycle: int) -> list[int]:
         """Consume flits at the ejection bandwidth.
@@ -138,12 +147,9 @@ class Sink:
             flit = self.buffers[vc].popleft()
             consumed.append(vc)
             self.ejected_flits += 1
+            self.occupancy -= 1
             self._budget -= 1.0
             if flit.is_tail:
                 flit.packet.ejection_time = cycle
                 self.on_packet(flit.packet, cycle)
         return consumed
-
-    @property
-    def occupancy(self) -> int:
-        return sum(len(b) for b in self.buffers)

@@ -21,6 +21,17 @@ signature of a saturated network).
 A progress watchdog raises :class:`~repro.exceptions.SimulationError` if
 no flit moves for a long stretch while packets are still in flight, which
 would indicate a routing deadlock — the deadlock-freedom tests rely on it.
+
+Scheduling: the default ``"fast"`` engine mode only visits routers that
+can make progress this cycle — those with buffered flits, plus those that
+just received a credit (a returning credit can release an output VC under
+atomic reallocation, and the allocation round must observe and then clear
+the freshly-released set that cycle).  Inter-router link endpoints are
+precomputed per router so the per-flit hot path performs no topology
+queries.  ``engine_mode="legacy"`` keeps the original visit-every-router
+loop; both modes produce bit-identical results (the benchmark suite and
+``tests/unit/test_engine.py`` check this), so the legacy mode serves as
+the baseline for ``benchmarks/run_bench.py``.
 """
 
 from __future__ import annotations
@@ -52,7 +63,12 @@ class Simulator:
         self,
         config: SimulationConfig,
         traffic: TrafficGenerator | None = None,
+        *,
+        engine_mode: str = "fast",
     ) -> None:
+        if engine_mode not in ("fast", "legacy"):
+            raise ValueError(f"unknown engine mode {engine_mode!r}")
+        self.engine_mode = engine_mode
         self.config = config
         self.mesh = Mesh2D(config.width, config.height)
         self.rng = RngStreams(config.seed)
@@ -90,6 +106,27 @@ class Simulator:
         self.cycle = 0
         self._last_progress_cycle = 0
         self._flits_in_network = 0
+        self._step_impl = (
+            self._step_fast if engine_mode == "fast" else self._step_legacy
+        )
+
+        # Per-router link-endpoint tables, indexed [node][direction]:
+        # (neighbor node, input direction at the neighbor), or None at a
+        # mesh edge / LOCAL.  Hoists mesh.neighbor()/OPPOSITE lookups out
+        # of the per-flit link-traversal and credit-return hot paths.
+        self._link_dest: list[list[tuple[int, Direction] | None]] = []
+        for node in range(self.mesh.num_nodes):
+            row: list[tuple[int, Direction] | None] = [None] * 5
+            for direction in (
+                Direction.EAST,
+                Direction.WEST,
+                Direction.NORTH,
+                Direction.SOUTH,
+            ):
+                neighbor = self.mesh.neighbor(node, direction)
+                if neighbor is not None:
+                    row[direction] = (neighbor, OPPOSITE[direction])
+            self._link_dest.append(row)
 
         # Link pipelines: (node, direction, vc, flit) and (node, dir, vc)
         # to apply at the start of the next cycle.
@@ -139,6 +176,113 @@ class Simulator:
     # One simulated cycle
     # ------------------------------------------------------------------
     def step(self) -> None:
+        self._step_impl()
+
+    def _step_fast(self) -> None:
+        """One cycle, visiting only routers that can make progress."""
+        cycle = self.cycle
+        routers = self.routers
+        link_dest = self._link_dest
+
+        # 1. Arrivals from the previous cycle's link traversals.
+        flits_now, self._flits_next = self._flits_next, []
+        credits_now, self._credits_next = self._credits_next, []
+        sink_now, self._sink_next = self._sink_next, []
+        for node, direction, vc in credits_now:
+            routers[node].receive_credit(direction, vc)
+        for node, direction, vc, flit in flits_now:
+            flit.hops += 1
+            routers[node].receive_flit(direction, vc, flit)
+        for node, vc, flit in sink_now:
+            self.sinks[node].receive(vc, flit)
+
+        # Active set for this cycle.  All state changes that can wake a
+        # router happen in stage 1 (arrivals/credits) or last cycle's
+        # stages (buffered flits), so the set is complete once arrivals
+        # are delivered; node order is preserved so results are
+        # bit-identical to the legacy every-router loop.
+        active = [r for r in routers if r.inflight or r.credit_pending]
+
+        # 2. Sink drain (ejection bandwidth), returning credits upstream.
+        progressed = False
+        credits_next = self._credits_next
+        flits_next = self._flits_next
+        sink_next = self._sink_next
+        for sink in self.sinks:
+            if sink.occupancy == 0:
+                continue
+            for vc in sink.drain(cycle):
+                credits_next.append((sink.node, Direction.LOCAL, vc))
+                progressed = True
+                self._flits_in_network -= 1
+
+        # 3. Link traversal.
+        utilization = self.utilization
+        if utilization is not None:
+            utilization.cycles += 1
+        local = Direction.LOCAL
+        for router in active:
+            if not router.staged_flits:
+                continue
+            row = link_dest[router.node]
+            for direction, vc, flit in router.link_traversal():
+                progressed = True
+                if utilization is not None:
+                    utilization.record(router.node, direction)
+                if direction is local:
+                    sink_next.append((router.node, vc, flit))
+                else:
+                    neighbor, in_dir = row[direction]
+                    flits_next.append((neighbor, in_dir, vc, flit))
+
+        # 4. Route computation + VC allocation.  Runs for credit-pending
+        # routers even when empty: a returned credit may have released an
+        # output VC, and the freshly-released set must be consumed and
+        # cleared by exactly one allocation round.  For an empty router
+        # that round reduces to clearing the fresh sets.
+        for router in active:
+            if router.inflight:
+                router.route_and_allocate()
+            else:
+                router.clear_fresh_only()
+            router.credit_pending = False
+
+        # 5. Switch allocation/traversal; upstream credit returns.
+        for router in active:
+            if not router.inflight:
+                continue
+            row = link_dest[router.node]
+            for in_direction, vc in router.switch_traversal():
+                progressed = True
+                if in_direction is local:
+                    # Injection buffers are filled directly by the source,
+                    # which observes free space without a credit loop.
+                    continue
+                upstream, up_dir = row[in_direction]
+                credits_next.append((upstream, up_dir, vc))
+
+        # 6. Traffic generation and injection.
+        in_window = self._in_window(cycle)
+        for packet in self.traffic.generate(cycle, in_window):
+            if packet.measured:
+                self.measured_created += 1
+            if in_window:
+                self.window_offered_flits += packet.size
+            self.sources[packet.src].enqueue(packet)
+        for source in self.sources:
+            if source.pending_flits and source.inject(cycle):
+                self._flits_in_network += 1
+                progressed = True
+
+        self._watchdog(progressed, cycle)
+        self.cycle += 1
+
+    def _step_legacy(self) -> None:
+        """One cycle visiting every router — the pre-optimization loop.
+
+        Kept as the measured baseline for the engine benchmarks; results
+        are bit-identical to :meth:`_step_fast`.
+        """
         cycle = self.cycle
 
         # 1. Arrivals from the previous cycle's link traversals.
@@ -184,6 +328,7 @@ class Simulator:
         # 4. Route computation + VC allocation.
         for router in self.routers:
             router.route_and_allocate()
+            router.credit_pending = False
 
         # 5. Switch allocation/traversal; upstream credit returns.
         for router in self.routers:
@@ -212,7 +357,10 @@ class Simulator:
                 self._flits_in_network += 1
                 progressed = True
 
-        # Deadlock watchdog.
+        self._watchdog(progressed, cycle)
+        self.cycle += 1
+
+    def _watchdog(self, progressed: bool, cycle: int) -> None:
         if progressed:
             self._last_progress_cycle = cycle
         elif (
@@ -224,8 +372,6 @@ class Simulator:
                 f"{cycle} with {self._flits_in_network} flits in flight — "
                 f"routing deadlock with '{self.config.routing}'"
             )
-
-        self.cycle += 1
 
     # ------------------------------------------------------------------
     def run(self) -> SimulationResult:

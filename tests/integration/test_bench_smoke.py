@@ -1,0 +1,47 @@
+"""Smoke test for the benchmark harness (``run_bench.py --quick``)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_RUN_BENCH = (
+    Path(__file__).resolve().parent.parent.parent / "benchmarks" / "run_bench.py"
+)
+
+
+@pytest.fixture(scope="module")
+def run_bench():
+    spec = importlib.util.spec_from_file_location("run_bench", _RUN_BENCH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_quick_bench_writes_report(run_bench, tmp_path):
+    code = run_bench.main(
+        ["--quick", "--no-baseline", "--output-dir", str(tmp_path)]
+    )
+    assert code == 0
+    reports = list(tmp_path.glob("BENCH_*.json"))
+    assert len(reports) == 1
+    payload = json.loads(reports[0].read_text())
+
+    assert payload["schema"] == "footprint-noc-bench/1"
+    assert payload["quick"] is True
+
+    engine = payload["engine"]
+    assert len(engine["matrix"]) == len(run_bench.QUICK_MATRIX)
+    for entry in engine["matrix"]:
+        assert entry["results_identical"] is True
+        assert entry["fast_cycles_per_sec"] > 0
+        assert entry["legacy_cycles_per_sec"] > 0
+    assert engine["summary"]["geomean_speedup"] > 0
+
+    assert payload["baseline"] == {"skipped": "--no-baseline"}
+
+    parallel = payload["parallel"]
+    assert parallel["results_identical"] is True
+    assert parallel["pool_results_identical"] is True
+    assert parallel["tasks"] == len(run_bench.QUICK_PARALLEL_RATES)

@@ -81,6 +81,37 @@ class TestFig9And10:
         assert "bodytrack+x264" in reporting.report_fig10(entries)
 
 
+@pytest.mark.slow
+class TestFullFigures:
+    """Full-roster figure drivers at SMOKE scale — minutes, not seconds."""
+
+    def test_fig5_full_roster(self):
+        results = exp.fig5_latency_throughput(exp.SMOKE)
+        assert set(results) == set(exp.FIG5_PATTERNS)
+        for curves in results.values():
+            assert [c.label for c in curves] == list(exp.FIG5_ALGORITHMS)
+            assert all(len(c.points) == len(exp.SMOKE.rates) for c in curves)
+
+    def test_fig6_full_roster(self):
+        results = exp.fig6_variable_packet_size(
+            exp.SMOKE, patterns=("uniform",)
+        )
+        for curves in results.values():
+            assert [c.label for c in curves] == list(exp.FIG5_ALGORITHMS)
+
+    def test_fig8_multiple_sizes(self):
+        results = exp.fig8_network_size(
+            exp.SMOKE, widths=(4, 8), patterns=("uniform", "transpose")
+        )
+        assert len(results) == 4
+        assert all(e.footprint_saturation > 0 for e in results)
+
+    def test_fig10_all_pairs(self):
+        entries = exp.fig10_parsec(exp.SMOKE)
+        assert len(entries) == 4
+        assert all(e.dbar_latency > 0 for e in entries)
+
+
 class TestStaticTables:
     def test_table1(self):
         table = exp.table1_adaptiveness()

@@ -29,18 +29,18 @@ def config():
 class TestSweepPoint:
     def test_saturated_by_latency(self):
         p = SweepPoint(0.5, avg_latency=100, accepted_rate=0.4, drained=True)
-        assert p.saturated_vs(10.0)
-        assert not p.saturated_vs(50.0)
+        assert p.is_saturated(10.0)
+        assert not p.is_saturated(50.0)
 
     def test_saturated_by_drain_failure(self):
         p = SweepPoint(0.5, avg_latency=12, accepted_rate=0.4, drained=False)
-        assert p.saturated_vs(10.0)
+        assert p.is_saturated(10.0)
 
     def test_nan_latency_is_saturated(self):
         p = SweepPoint(
             0.5, avg_latency=float("nan"), accepted_rate=0.4, drained=True
         )
-        assert p.saturated_vs(10.0)
+        assert p.is_saturated(10.0)
 
 
 class TestRealSweeps:
