@@ -1,26 +1,30 @@
 #!/usr/bin/env python
-"""Benchmark the simulation engine and the parallel experiment layer.
+"""Benchmark the simulation engine, the result cache, and the pool layer.
 
-Two measurements, written to ``BENCH_<timestamp>.json``:
+Four measurements, written to ``BENCH_<timestamp>.json``:
 
 * **engine** — single-simulation cycles/sec for a fixed config matrix,
-  comparing the optimized ``fast`` engine loop against the ``legacy``
-  every-router loop (the pre-optimization scheduler, kept in-tree for
-  exactly this before/after comparison).  Both modes produce
+  comparing three engine modes: ``skip`` (idle-cycle skipping on top of
+  the active-set scheduler, the default), ``fast`` (active-set scheduler
+  only), and ``legacy`` (the original every-router loop, kept in-tree
+  for exactly this before/after comparison).  All three modes produce
   bit-identical results; the harness asserts it on every run.  The
   matrix emphasizes low offered loads because that is where saturation
   studies spend most of their runs (the whole sub-saturation ladder plus
-  the zero-load reference) and where active-set scheduling pays off.
-  Note the in-binary ratio *understates* the improvement over the
-  original engine: router-level optimizations from the same work
-  (``__slots__`` flits, incremental occupancy counters, the single-pass
-  allocator) speed up the legacy loop too.
+  the zero-load reference) and where quiescence-based skipping pays off;
+  entries at or below ``ZERO_LOAD_RATE`` form the ``zero_load`` summary
+  bucket.
 
 * **baseline** — the same matrix timed against the *pre-optimization
   tree*: the repo's root commit is checked out into a temporary git
   worktree and each config is timed there in a subprocess.  This is the
   true before/after number, free of the shared-gains bias above.
   Skipped (with a note) when git or the worktree is unavailable.
+
+* **cache** — one sweep grid executed twice against a fresh cache
+  directory: a cold pass that simulates and stores every point, then a
+  warm pass that must complete with **zero simulations** (asserted via
+  the cache's miss counter) and point-for-point identical results.
 
 * **parallel** — wall-clock for one sweep grid executed serially
   (``jobs=1``) and through the process pool, with a point-by-point
@@ -57,26 +61,33 @@ from repro.metrics.sweep import point_from_result
 from repro.sim.config import SimulationConfig
 from repro.sim.engine import Simulator
 
-#: (width, routing, injection rate) — low loads first; ``low_load`` in the
-#: summary aggregates the rates <= 0.02.
+#: (width, routing, injection rate) — zero-load points first (rates at or
+#: below ``ZERO_LOAD_RATE`` form the ``zero_load`` summary bucket; they
+#: correspond to the zero-load latency references of the figure sweeps,
+#: where the network is quiescent almost every cycle), then the climb to
+#: saturation.
 ENGINE_MATRIX = (
-    (8, "footprint", 0.005),
+    (8, "footprint", 0.0001),
+    (8, "dor", 0.0002),
+    (16, "footprint", 0.0001),
+    (8, "footprint", 0.001),
     (8, "footprint", 0.02),
-    (8, "dor", 0.02),
-    (16, "footprint", 0.02),
     (8, "footprint", 0.05),
     (8, "footprint", 0.3),
 )
 
 QUICK_MATRIX = (
-    (8, "footprint", 0.005),
+    (8, "footprint", 0.0002),
     (8, "footprint", 0.02),
 )
 
-LOW_LOAD_RATE = 0.02
+ZERO_LOAD_RATE = 0.0002
 
 PARALLEL_RATES = (0.05, 0.1, 0.15, 0.2)
 QUICK_PARALLEL_RATES = (0.05, 0.15)
+
+CACHE_RATES = (0.01, 0.02, 0.05, 0.1)
+QUICK_CACHE_RATES = (0.01, 0.05)
 
 
 def _bench_config(width: int, routing: str, rate: float, quick: bool):
@@ -121,50 +132,53 @@ def bench_engine(quick: bool, reps: int) -> dict:
     entries = []
     for width, routing, rate in matrix:
         config = _bench_config(width, routing, rate, quick)
+        skip_cps, skip_sig = _time_mode(config, "skip", reps)
         fast_cps, fast_sig = _time_mode(config, "fast", reps)
         legacy_cps, legacy_sig = _time_mode(config, "legacy", reps)
-        if fast_sig != legacy_sig:
+        if not (skip_sig == fast_sig == legacy_sig):
             raise AssertionError(
-                f"fast/legacy results diverge for {width}x{width} "
+                f"skip/fast/legacy results diverge for {width}x{width} "
                 f"{routing} @ {rate}"
             )
-        speedup = fast_cps / legacy_cps
+        speedup = skip_cps / legacy_cps
         entries.append(
             {
                 "width": width,
                 "routing": routing,
                 "injection_rate": rate,
+                "skip_cycles_per_sec": round(skip_cps, 1),
                 "fast_cycles_per_sec": round(fast_cps, 1),
                 "legacy_cycles_per_sec": round(legacy_cps, 1),
                 "speedup": round(speedup, 3),
+                "fast_speedup": round(fast_cps / legacy_cps, 3),
                 "results_identical": True,
                 # For the baseline cross-check (signature = cycles_run,
                 # accepted flits, offered flits, ejected, samples).
-                "cycles_run": fast_sig[0],
-                "accepted_flits": fast_sig[1],
+                "cycles_run": skip_sig[0],
+                "accepted_flits": skip_sig[1],
             }
         )
         print(
-            f"  {width}x{width} {routing:10s} rate={rate:<6} "
-            f"fast={fast_cps:8.0f} c/s  legacy={legacy_cps:8.0f} c/s  "
-            f"{speedup:.2f}x"
+            f"  {width}x{width} {routing:10s} rate={rate:<7} "
+            f"skip={skip_cps:8.0f} fast={fast_cps:8.0f} "
+            f"legacy={legacy_cps:8.0f} c/s  {speedup:.2f}x"
         )
 
     def geomean(values):
         return math.exp(sum(math.log(v) for v in values) / len(values))
 
     speedups = [e["speedup"] for e in entries]
-    low_load = [
+    zero_load = [
         e["speedup"]
         for e in entries
-        if e["injection_rate"] <= LOW_LOAD_RATE + 1e-9
+        if e["injection_rate"] <= ZERO_LOAD_RATE + 1e-9
     ]
     return {
         "reps": reps,
         "matrix": entries,
         "summary": {
             "geomean_speedup": round(geomean(speedups), 3),
-            "low_load_geomean_speedup": round(geomean(low_load), 3),
+            "zero_load_geomean_speedup": round(geomean(zero_load), 3),
             "max_speedup": round(max(speedups), 3),
         },
     }
@@ -267,7 +281,7 @@ def bench_baseline(quick: bool, reps: int, engine: dict) -> dict:
                 ) as exc:
                     print(f"  skipped: baseline run failed ({exc})")
                     return {"skipped": str(exc), "baseline_rev": rev}
-                speedup = entry["fast_cycles_per_sec"] / child["cps"]
+                speedup = entry["skip_cycles_per_sec"] / child["cps"]
                 matches = (
                     child["cycles_run"] == entry["cycles_run"]
                     and child["accepted_flits"] == entry["accepted_flits"]
@@ -278,7 +292,7 @@ def bench_baseline(quick: bool, reps: int, engine: dict) -> dict:
                         "routing": entry["routing"],
                         "injection_rate": entry["injection_rate"],
                         "baseline_cycles_per_sec": round(child["cps"], 1),
-                        "fast_cycles_per_sec": entry["fast_cycles_per_sec"],
+                        "skip_cycles_per_sec": entry["skip_cycles_per_sec"],
                         "speedup_vs_baseline": round(speedup, 3),
                         "results_match_baseline": matches,
                     }
@@ -286,9 +300,9 @@ def bench_baseline(quick: bool, reps: int, engine: dict) -> dict:
                 print(
                     f"  {entry['width']}x{entry['width']} "
                     f"{entry['routing']:10s} "
-                    f"rate={entry['injection_rate']:<6} "
+                    f"rate={entry['injection_rate']:<7} "
                     f"baseline={child['cps']:8.0f} c/s  "
-                    f"fast={entry['fast_cycles_per_sec']:8.0f} c/s  "
+                    f"skip={entry['skip_cycles_per_sec']:8.0f} c/s  "
                     f"{speedup:.2f}x"
                 )
         finally:
@@ -310,6 +324,58 @@ def bench_baseline(quick: bool, reps: int, engine: dict) -> dict:
             "geomean_speedup": round(geomean(speedups), 3),
             "max_speedup": round(max(speedups), 3),
         },
+    }
+
+
+def bench_cache(quick: bool) -> dict:
+    """Cold-populate a fresh cache, then prove a warm re-run is free."""
+    from repro.harness.cache import ResultCache
+
+    rates = QUICK_CACHE_RATES if quick else CACHE_RATES
+    config = _bench_config(8, "footprint", 0.05, quick)
+    tasks = [SimTask(config, rate=rate) for rate in rates]
+
+    with tempfile.TemporaryDirectory(prefix="bench-cache-") as tmp:
+        cold_cache = ResultCache(tmp)
+        t0 = time.perf_counter()
+        cold = run_tasks(tasks, jobs=1, cache=cold_cache)
+        cold_seconds = time.perf_counter() - t0
+
+        warm_cache = ResultCache(tmp)
+        t0 = time.perf_counter()
+        warm = run_tasks(tasks, jobs=1, cache=warm_cache)
+        warm_seconds = time.perf_counter() - t0
+
+    if warm_cache.misses != 0 or warm_cache.hits != len(tasks):
+        raise AssertionError(
+            f"warm cache pass simulated: {warm_cache.misses} misses, "
+            f"{warm_cache.hits} hits for {len(tasks)} tasks"
+        )
+    cold_points = [
+        point_from_result(r, rate) for r, rate in zip(cold, rates)
+    ]
+    warm_points = [
+        point_from_result(r, rate) for r, rate in zip(warm, rates)
+    ]
+    if cold_points != warm_points:
+        raise AssertionError("cached results diverge from fresh results")
+
+    speedup = cold_seconds / warm_seconds
+    print(
+        f"  {len(tasks)} tasks: cold={cold_seconds:.2f}s  "
+        f"warm={warm_seconds:.3f}s  {speedup:.0f}x  "
+        f"warm_simulations=0  identical=True"
+    )
+    return {
+        "tasks": len(tasks),
+        "rates": list(rates),
+        "cold_seconds": round(cold_seconds, 3),
+        "warm_seconds": round(warm_seconds, 4),
+        "speedup": round(speedup, 3),
+        "warm_hits": warm_cache.hits,
+        "warm_misses": warm_cache.misses,
+        "warm_simulations": 0,
+        "results_identical": True,
     }
 
 
@@ -398,25 +464,28 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(f"--reps must be >= 1, got {args.reps}")
     reps = args.reps if args.reps is not None else (1 if args.quick else 3)
 
-    print(f"engine: fast vs legacy ({'quick' if args.quick else 'full'} "
-          f"matrix, best of {reps})")
+    print(f"engine: skip vs fast vs legacy "
+          f"({'quick' if args.quick else 'full'} matrix, best of {reps})")
     engine = bench_engine(args.quick, reps)
     if args.no_baseline:
         baseline = {"skipped": "--no-baseline"}
     else:
-        print("baseline: fast vs seed tree (root commit, subprocess)")
+        print("baseline: skip vs seed tree (root commit, subprocess)")
         baseline = bench_baseline(args.quick, reps, engine)
+    print("cache: cold populate vs warm re-run")
+    cache = bench_cache(args.quick)
     print("parallel: serial vs process pool")
     parallel = bench_parallel(args.quick, args.jobs)
 
     payload = {
-        "schema": "footprint-noc-bench/1",
+        "schema": "footprint-noc-bench/2",
         "timestamp": time.strftime("%Y%m%dT%H%M%S"),
         "quick": args.quick,
         "python": sys.version.split()[0],
         "cpu_count": os.cpu_count(),
         "engine": engine,
         "baseline": baseline,
+        "cache": cache,
         "parallel": parallel,
     }
     out_dir = Path(args.output_dir)
@@ -427,8 +496,8 @@ def main(argv: list[str] | None = None) -> int:
     summary = engine["summary"]
     print(
         f"engine speedup vs legacy loop: geomean "
-        f"{summary['geomean_speedup']}x, low-load geomean "
-        f"{summary['low_load_geomean_speedup']}x, "
+        f"{summary['geomean_speedup']}x, zero-load geomean "
+        f"{summary['zero_load_geomean_speedup']}x, "
         f"max {summary['max_speedup']}x"
     )
     if "summary" in baseline:

@@ -101,6 +101,40 @@ def _build_parser() -> argparse.ArgumentParser:
             "are identical for any value"
         ),
     )
+    experiment.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help=(
+            "reuse simulation results from the on-disk cache and store "
+            "fresh ones (results are identical either way; a warm cache "
+            "re-runs the experiment with zero simulations)"
+        ),
+    )
+    experiment.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "cache directory (default: $REPRO_CACHE_DIR, else "
+            "./.repro-cache); implies --cache"
+        ),
+    )
+    experiment.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "run the experiment under cProfile, print the top-25 "
+            "cumulative-time entries, and write a .pstats file"
+        ),
+    )
+    experiment.add_argument(
+        "--profile-out",
+        default=None,
+        metavar="FILE",
+        help="where --profile writes its .pstats dump "
+        "(default: profile_<figure>.pstats)",
+    )
 
     sub.add_parser("list", help="list routing algorithms and traffic patterns")
     return parser
@@ -145,7 +179,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_experiment(args: argparse.Namespace) -> int:
+def _run_experiment(args: argparse.Namespace, cache) -> None:
     scale = {"smoke": exp.SMOKE, "bench": exp.BENCH, "paper": exp.PAPER}[
         args.scale
     ]
@@ -160,14 +194,18 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     elif figure == "fig5":
         print(
             reporting.report_fig5(
-                exp.fig5_latency_throughput(scale, seed=args.seed, jobs=jobs),
+                exp.fig5_latency_throughput(
+                    scale, seed=args.seed, jobs=jobs, cache=cache
+                ),
                 "Fig. 5 — single-flit packets",
             )
         )
     elif figure == "fig6":
         print(
             reporting.report_fig5(
-                exp.fig6_variable_packet_size(scale, seed=args.seed, jobs=jobs),
+                exp.fig6_variable_packet_size(
+                    scale, seed=args.seed, jobs=jobs, cache=cache
+                ),
                 "Fig. 6 — {1..6}-flit packets",
             )
         )
@@ -175,7 +213,13 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         for pattern in exp.FIG5_PATTERNS:
             print(
                 reporting.report_fig7(
-                    exp.fig7_vc_sweep(scale, pattern, seed=args.seed, jobs=jobs),
+                    exp.fig7_vc_sweep(
+                        scale,
+                        pattern,
+                        seed=args.seed,
+                        jobs=jobs,
+                        cache=cache,
+                    ),
                     pattern,
                 )
             )
@@ -183,25 +227,58 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     elif figure == "fig8":
         print(
             reporting.report_fig8(
-                exp.fig8_network_size(scale, seed=args.seed, jobs=jobs)
+                exp.fig8_network_size(
+                    scale, seed=args.seed, jobs=jobs, cache=cache
+                )
             )
         )
     elif figure == "fig9":
         print(
             reporting.report_fig9(
-                exp.fig9_hotspot(scale, seed=args.seed, jobs=jobs)
+                exp.fig9_hotspot(
+                    scale, seed=args.seed, jobs=jobs, cache=cache
+                )
             )
         )
     elif figure == "fig10":
         print(
             reporting.report_fig10(
-                exp.fig10_parsec(scale, seed=args.seed, jobs=jobs)
+                exp.fig10_parsec(
+                    scale, seed=args.seed, jobs=jobs, cache=cache
+                )
             )
         )
     elif figure == "table1":
         print(reporting.report_table1(exp.table1_adaptiveness()))
     elif figure == "cost":
         print(reporting.report_cost(exp.cost_table()))
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    cache = None
+    if args.cache or args.cache_dir is not None:
+        from repro.harness.cache import ResultCache
+
+        cache = ResultCache(args.cache_dir)
+    if args.profile:
+        import cProfile
+        import pstats
+
+        out = args.profile_out or f"profile_{args.figure}.pstats"
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            _run_experiment(args, cache)
+        finally:
+            profiler.disable()
+            profiler.dump_stats(out)
+            stats = pstats.Stats(profiler)
+            stats.sort_stats("cumulative").print_stats(25)
+            print(f"profile written to {out}")
+    else:
+        _run_experiment(args, cache)
+    if cache is not None:
+        print(cache.describe())
     return 0
 
 

@@ -1,0 +1,127 @@
+"""Persistent, content-addressed cache of simulation results.
+
+Every simulation in this repository is a pure function of its
+:class:`~repro.sim.config.SimulationConfig` (the config carries the seed,
+the traffic spec — including trace events — and every knob the engine
+reads).  That makes results cacheable across processes and sessions: the
+cache key is a SHA-256 over the canonical JSON form of the config plus
+the engine's :data:`~repro.sim.engine.ENGINE_VERSION` stamp, so any
+change to either yields a different key and stale entries simply stop
+being addressed — no explicit invalidation pass is needed.
+
+Entries are one JSON file per key under the cache directory (default
+``.repro-cache/``, overridable with the ``REPRO_CACHE_DIR`` environment
+variable or an explicit path).  Writes go through a temporary file and
+an atomic :func:`os.replace`, so concurrent ``--jobs`` workers and
+parallel experiment runs can share a directory without torn entries;
+unreadable or corrupt files are treated as misses and overwritten.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from repro.sim.config import SimulationConfig
+from repro.sim.results import SimulationResult
+
+#: Environment variable naming the cache directory.
+CACHE_ENV = "REPRO_CACHE_DIR"
+
+#: Directory used when neither an explicit path nor the env var is set.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def default_cache_dir() -> Path:
+    """The cache directory: ``$REPRO_CACHE_DIR`` or ``.repro-cache``."""
+    return Path(os.environ.get(CACHE_ENV, "").strip() or DEFAULT_CACHE_DIR)
+
+
+def config_cache_key(config: SimulationConfig) -> str:
+    """Content hash addressing ``config``'s result on disk.
+
+    Stable across processes and interpreter runs: the payload is
+    canonical JSON (sorted keys, fixed separators) over the config's
+    dict form plus the engine-version stamp.  Two configs differing in
+    any field hash differently; field ordering cannot matter because the
+    serializer sorts keys.
+    """
+    # Imported lazily: the engine imports repro.sim.config, and the
+    # harness modules keep engine imports out of module scope to avoid
+    # the circular-import sweep (see repro.harness.parallel._run_task).
+    from repro.sim.engine import ENGINE_VERSION
+
+    payload = {
+        "engine_version": ENGINE_VERSION,
+        "config": config.to_dict(),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """On-disk result store with hit/miss accounting.
+
+    ``get``/``put`` round-trip :class:`SimulationResult` through its
+    JSON form, so a hit reproduces every observable statistic of the
+    original run (full latency sample sets included).
+    """
+
+    def __init__(self, directory: str | os.PathLike | None = None) -> None:
+        self.directory = (
+            Path(directory) if directory is not None else default_cache_dir()
+        )
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def get(self, config: SimulationConfig) -> SimulationResult | None:
+        """The cached result for ``config``, or ``None`` on a miss."""
+        path = self._path(config_cache_key(config))
+        try:
+            data = json.loads(path.read_text())
+            result = SimulationResult.from_dict(data)
+        except (OSError, ValueError, KeyError, TypeError):
+            # Missing, unreadable, or corrupt entry: report a miss; a
+            # subsequent put() overwrites the bad file.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, result: SimulationResult) -> None:
+        """Store ``result``, atomically replacing any existing entry."""
+        key = config_cache_key(result.config)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        blob = json.dumps(result.to_dict(), separators=(",", ":"))
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.directory, prefix=f".{key}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(blob)
+            os.replace(tmp_name, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def describe(self) -> str:
+        """One-line hit/miss summary for experiment reports."""
+        return (
+            f"cache {self.directory}: {self.hits} hits, "
+            f"{self.misses} misses"
+        )

@@ -14,18 +14,25 @@ overrides the scale used by the benchmark suite.
 Each sweep driver flattens its simulation grid into independent tasks and
 runs them through :mod:`repro.harness.parallel`; pass ``jobs`` (or set
 ``REPRO_JOBS``) to distribute them over worker processes.  Results are
-bit-identical for any worker count.
+bit-identical for any worker count.  Passing a
+:class:`~repro.harness.cache.ResultCache` as ``cache`` reuses previously
+simulated points from disk — a warm re-run of any figure completes with
+zero simulations.
 """
 
 from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.core.adaptiveness import qualitative_comparison
 from repro.core.congestion import CongestionTree, extract_congestion_tree
 from repro.core.cost import CostModel
 from repro.harness.parallel import SimTask, run_configs, run_tasks
+
+if TYPE_CHECKING:
+    from repro.harness.cache import ResultCache
 from repro.metrics.curves import LatencyThroughputCurve
 from repro.metrics.sweep import point_from_result
 from repro.routing.registry import create_routing
@@ -191,6 +198,7 @@ def latency_throughput_curves(
     packet_size_range: tuple[int, int] | None = None,
     seed: int = 1,
     jobs: int | str | None = None,
+    cache: "ResultCache | None" = None,
 ) -> list[LatencyThroughputCurve]:
     """One latency-throughput curve per algorithm for ``pattern``.
 
@@ -211,7 +219,7 @@ def latency_throughput_curves(
         for algorithm in algorithms
         for rate in scale.rates
     ]
-    results = iter(run_tasks(tasks, jobs))
+    results = iter(run_tasks(tasks, jobs, cache=cache))
     curves = []
     for algorithm in algorithms:
         curve = LatencyThroughputCurve(label=algorithm)
@@ -227,10 +235,13 @@ def fig5_latency_throughput(
     algorithms: tuple[str, ...] = FIG5_ALGORITHMS,
     seed: int = 1,
     jobs: int | str | None = None,
+    cache: "ResultCache | None" = None,
 ) -> dict[str, list[LatencyThroughputCurve]]:
     """Fig. 5: single-flit latency-throughput for every algorithm."""
     return {
-        p: latency_throughput_curves(scale, algorithms, p, seed=seed, jobs=jobs)
+        p: latency_throughput_curves(
+            scale, algorithms, p, seed=seed, jobs=jobs, cache=cache
+        )
         for p in patterns
     }
 
@@ -241,11 +252,18 @@ def fig6_variable_packet_size(
     algorithms: tuple[str, ...] = FIG5_ALGORITHMS,
     seed: int = 1,
     jobs: int | str | None = None,
+    cache: "ResultCache | None" = None,
 ) -> dict[str, list[LatencyThroughputCurve]]:
     """Fig. 6: {1..6}-flit uniformly distributed packet sizes."""
     return {
         p: latency_throughput_curves(
-            scale, algorithms, p, packet_size_range=(1, 6), seed=seed, jobs=jobs
+            scale,
+            algorithms,
+            p,
+            packet_size_range=(1, 6),
+            seed=seed,
+            jobs=jobs,
+            cache=cache,
         )
         for p in patterns
     }
@@ -260,6 +278,7 @@ def fig7_vc_sweep(
     vc_counts: tuple[int, ...] | None = None,
     seed: int = 1,
     jobs: int | str | None = None,
+    cache: "ResultCache | None" = None,
 ) -> dict[int, list[LatencyThroughputCurve]]:
     """Fig. 7: DBAR vs Footprint as the number of VCs varies."""
     counts = vc_counts if vc_counts is not None else scale.vc_counts
@@ -276,7 +295,7 @@ def fig7_vc_sweep(
         for algorithm in algorithms
         for rate in scale.rates
     ]
-    results = iter(run_tasks(tasks, jobs))
+    results = iter(run_tasks(tasks, jobs, cache=cache))
     out: dict[int, list[LatencyThroughputCurve]] = {}
     for vcs in counts:
         curves = []
@@ -320,6 +339,7 @@ def fig8_network_size(
     patterns: tuple[str, ...] = FIG5_PATTERNS,
     seed: int = 1,
     jobs: int | str | None = None,
+    cache: "ResultCache | None" = None,
 ) -> list[Fig8Result]:
     """Fig. 8: DBAR throughput normalized to Footprint across mesh sizes."""
     algorithms = ("dbar", "footprint")
@@ -336,7 +356,7 @@ def fig8_network_size(
         for algorithm in algorithms
         for rate in scale.rates
     ]
-    sim_results = iter(run_tasks(tasks, jobs))
+    sim_results = iter(run_tasks(tasks, jobs, cache=cache))
     zero_index = scale.rates.index(min(scale.rates))
     results = []
     for pattern in patterns:
@@ -369,6 +389,7 @@ def fig9_hotspot(
     algorithms: tuple[str, ...] = ("dbar", "footprint"),
     seed: int = 1,
     jobs: int | str | None = None,
+    cache: "ResultCache | None" = None,
 ) -> dict[str, list[tuple[float, float, bool]]]:
     """Fig. 9: background latency vs hotspot injection rate.
 
@@ -388,7 +409,7 @@ def fig9_hotspot(
         for algorithm in algorithms
         for rate in scale.hotspot_rates
     ]
-    results = iter(run_configs(configs, jobs))
+    results = iter(run_configs(configs, jobs, cache=cache))
     out: dict[str, list[tuple[float, float, bool]]] = {}
     for algorithm in algorithms:
         series = []
@@ -434,6 +455,7 @@ def fig10_parsec(
     ),
     seed: int = 1,
     jobs: int | str | None = None,
+    cache: "ResultCache | None" = None,
 ) -> list[Fig10Entry]:
     """Fig. 10: DBAR vs Footprint on pairs of PARSEC-like traces."""
     mesh = Mesh2D(scale.width)
@@ -460,7 +482,7 @@ def fig10_parsec(
                     seed=seed,
                 )
             )
-    results = iter(run_configs(configs, jobs))
+    results = iter(run_configs(configs, jobs, cache=cache))
     entries = []
     for pair in pairs:
         measured: dict[str, SimulationResult] = {

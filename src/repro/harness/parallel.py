@@ -26,10 +26,13 @@ import os
 import zlib
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 from repro.sim.config import SimulationConfig
 from repro.sim.results import SimulationResult
+
+if TYPE_CHECKING:
+    from repro.harness.cache import ResultCache
 
 
 @dataclass(frozen=True)
@@ -97,7 +100,9 @@ def _run_task(task: SimTask) -> SimulationResult:
 
 
 def run_tasks(
-    tasks: Iterable[SimTask], jobs: int | str | None = None
+    tasks: Iterable[SimTask],
+    jobs: int | str | None = None,
+    cache: "ResultCache | None" = None,
 ) -> list[SimulationResult]:
     """Run every task, returning results in task order.
 
@@ -105,17 +110,42 @@ def run_tasks(
     tasks run serially in-process; otherwise they are distributed over a
     process pool.  Both paths produce identical results because each task
     is an independent, deterministic simulation.
+
+    When a :class:`~repro.harness.cache.ResultCache` is supplied it is
+    consulted per task before simulating; only misses are executed (and
+    stored back), so a warm cache completes the grid with zero
+    simulations.  Cache hits are bit-exact round trips of the original
+    results, so the returned list is identical either way.
     """
     task_list = list(tasks)
-    workers = min(resolve_jobs(jobs), len(task_list))
+    if cache is None:
+        results: list[SimulationResult | None] = [None] * len(task_list)
+        pending = list(range(len(task_list)))
+    else:
+        results = [
+            cache.get(task.resolved_config()) for task in task_list
+        ]
+        pending = [i for i, r in enumerate(results) if r is None]
+    pending_tasks = [task_list[i] for i in pending]
+    workers = min(resolve_jobs(jobs), len(pending_tasks))
     if workers <= 1:
-        return [_run_task(task) for task in task_list]
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(_run_task, task_list, chunksize=1))
+        fresh = [_run_task(task) for task in pending_tasks]
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            fresh = list(pool.map(_run_task, pending_tasks, chunksize=1))
+    for index, result in zip(pending, fresh):
+        if cache is not None:
+            cache.put(result)
+        results[index] = result
+    return results  # type: ignore[return-value]  # every slot is filled
 
 
 def run_configs(
-    configs: Iterable[SimulationConfig], jobs: int | str | None = None
+    configs: Iterable[SimulationConfig],
+    jobs: int | str | None = None,
+    cache: "ResultCache | None" = None,
 ) -> list[SimulationResult]:
     """Run one simulation per config, results in config order."""
-    return run_tasks((SimTask(config) for config in configs), jobs)
+    return run_tasks(
+        (SimTask(config) for config in configs), jobs, cache=cache
+    )

@@ -84,6 +84,20 @@ class LatencyStats:
         self._sum += other._sum
         self._sorted = False
 
+    # ------------------------------------------------------------------
+    def samples(self) -> list[int]:
+        """The retained samples (a copy); every aggregate query is
+        order-insensitive, so round-tripping through this preserves all
+        observable statistics."""
+        return list(self._samples)
+
+    @classmethod
+    def from_samples(cls, values: Iterable[int]) -> "LatencyStats":
+        """Rebuild an accumulator from :meth:`samples` output."""
+        stats = cls()
+        stats.extend(values)
+        return stats
+
     def __repr__(self) -> str:
         if not self._samples:
             return "LatencyStats(empty)"

@@ -150,6 +150,14 @@ class Router:
         # iteration order is deterministic (insertion order).  Maintained
         # incrementally instead of scanning every VC every cycle.
         self._pending: dict[tuple[int, int], InputVc] = {}
+        # Per-input-port bitmask of VCs with buffered flits (bit v set ⟺
+        # input_vcs[d][v].fifo non-empty), indexed by Direction, plus the
+        # total count across all input FIFOs.  Maintained on receive/pop
+        # so switch traversal visits only occupied VCs instead of
+        # scanning all num_vcs per port.
+        self._occupied_masks = [0] * 5
+        self.buffered_input_flits = 0
+        self._vc_mask_all = (1 << config.num_vcs) - 1
         self.blocking = BlockingStats()
         self._sample_blocking = False
 
@@ -161,6 +169,8 @@ class Router:
         ivc = self.input_vcs[direction][vc]
         ivc.push(flit)
         self.inflight += 1
+        self.buffered_input_flits += 1
+        self._occupied_masks[direction] |= 1 << vc
         if ivc.state is VcState.IDLE:
             ivc.refresh_state()
             if ivc.state is VcState.ROUTING:
@@ -302,10 +312,17 @@ class Router:
         credits: list[tuple[Direction, int]] = []
         n_ports = len(self._port_order)
         # Rotate the port service order each cycle (round-robin switch
-        # arbitration across input ports).
+        # arbitration across input ports).  The rotation happens whenever
+        # flits are inflight — even if none are in input FIFOs — to stay
+        # bit-identical with the scan-everything baseline.
         self._sa_port_offset = (self._sa_port_offset + 1) % n_ports
+        if self.buffered_input_flits == 0:
+            return []
+        occupied_masks = self._occupied_masks
         for i in range(n_ports):
             direction = self._port_order[(self._sa_port_offset + i) % n_ports]
+            if not occupied_masks[direction]:
+                continue
             ivc = self._pick_sa_winner(direction)
             if ivc is None:
                 continue
@@ -313,6 +330,9 @@ class Router:
             out_vc = ivc.out_vc
             assert out_vc is not None
             flit = ivc.pop()
+            self.buffered_input_flits -= 1
+            if not ivc.fifo:
+                occupied_masks[direction] &= ~(1 << ivc.index)
             out_port.send(flit, out_vc)
             self.staged_flits += 1
             if ivc.state is VcState.ROUTING:
@@ -323,25 +343,37 @@ class Router:
         return credits
 
     def _pick_sa_winner(self, direction: Direction) -> InputVc | None:
-        """Round-robin among the port's VCs with a sendable flit."""
+        """Round-robin among the port's VCs with a sendable flit.
+
+        Only VCs with buffered flits (the port's occupancy bitmask) are
+        visited: the mask is rotated so bit 0 lands on the arbiter
+        pointer, making ascending set-bit order identical to the
+        round-robin scan order of the full-range loop it replaces.
+        """
+        mask = self._occupied_masks[direction]
+        if not mask:
+            return None
         vcs = self.input_vcs[direction]
         arbiter = self._vc_arbiters[direction]
         pointer = arbiter._pointer
         n = arbiter.size
         outputs = self.output_ports
         active = VcState.ACTIVE
-        for offset in range(n):
-            v = pointer + offset
+        rotated = ((mask >> pointer) | (mask << (n - pointer))) & (
+            self._vc_mask_all
+        )
+        while rotated:
+            low = rotated & -rotated
+            v = pointer + low.bit_length() - 1
             if v >= n:
                 v -= n
             ivc = vcs[v]
-            if (
-                ivc.state is active
-                and ivc.fifo
-                and outputs[ivc.out_direction].can_send(ivc.out_vc)
+            if ivc.state is active and outputs[ivc.out_direction].can_send(
+                ivc.out_vc
             ):
                 arbiter._pointer = v + 1 if v + 1 < n else 0
                 return ivc
+            rotated -= low
         return None
 
     # ------------------------------------------------------------------

@@ -9,7 +9,7 @@ internal speedup 2, credit-based wormhole flow control).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 from typing import Any
 
 from repro.exceptions import ConfigurationError
@@ -174,6 +174,34 @@ class SimulationConfig:
     def with_(self, **overrides: Any) -> "SimulationConfig":
         """Return a copy with ``overrides`` applied (and re-validated)."""
         return replace(self, **overrides)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable form; inverse of :meth:`from_dict`.
+
+        Trace events (dataclasses) become plain dicts and the packet-size
+        range becomes a list, so the output survives a JSON round trip.
+        """
+        data = asdict(self)
+        if data["packet_size_range"] is not None:
+            data["packet_size_range"] = list(data["packet_size_range"])
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "SimulationConfig":
+        """Rebuild a config from :meth:`to_dict` output (or parsed JSON)."""
+        data = dict(data)
+        if data.get("packet_size_range") is not None:
+            data["packet_size_range"] = tuple(data["packet_size_range"])
+        if data.get("trace") is not None:
+            # Imported lazily: trace.py imports this module.
+            from repro.traffic.trace import TraceEvent
+
+            data["trace"] = [
+                e if isinstance(e, TraceEvent) else TraceEvent(**e)
+                for e in data["trace"]
+            ]
+        return cls(**data)
 
     def describe(self) -> str:
         """One-line human-readable summary used in logs and reports."""

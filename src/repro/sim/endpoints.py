@@ -119,6 +119,9 @@ class Sink:
         #: Flits currently buffered, maintained incrementally: the engine
         #: checks it for every sink every cycle to skip empty ones.
         self.occupancy = 0
+        #: Bitmask of VCs with buffered flits, so drain arbitration only
+        #: enumerates occupied VCs instead of scanning all of them.
+        self._occupied = 0
 
     def receive(self, vc: int, flit: Flit) -> None:
         """A flit arrives from the router's LOCAL output port."""
@@ -130,6 +133,7 @@ class Sink:
             )
         self.buffers[vc].append(flit)
         self.occupancy += 1
+        self._occupied |= 1 << vc
 
     def drain(self, cycle: int) -> list[int]:
         """Consume flits at the ejection bandwidth.
@@ -140,11 +144,20 @@ class Sink:
         self._budget = min(self._budget + self.ejection_rate, 4.0)
         consumed: list[int] = []
         while self._budget >= 1.0:
-            occupied = [v for v in range(self.num_vcs) if self.buffers[v]]
+            # Ascending set-bit enumeration matches the full-range scan
+            # it replaces, so arbitration order is unchanged.
+            occupied = []
+            mask = self._occupied
+            while mask:
+                low = mask & -mask
+                occupied.append(low.bit_length() - 1)
+                mask -= low
             vc = self._arbiter.grant(occupied)
             if vc is None:
                 break
             flit = self.buffers[vc].popleft()
+            if not self.buffers[vc]:
+                self._occupied &= ~(1 << vc)
             consumed.append(vc)
             self.ejected_flits += 1
             self.occupancy -= 1

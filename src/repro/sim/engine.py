@@ -22,9 +22,9 @@ A progress watchdog raises :class:`~repro.exceptions.SimulationError` if
 no flit moves for a long stretch while packets are still in flight, which
 would indicate a routing deadlock — the deadlock-freedom tests rely on it.
 
-Scheduling: the default ``"fast"`` engine mode only visits routers that
-can make progress this cycle — those with buffered flits, plus those that
-just received a credit (a returning credit can release an output VC under
+Scheduling: the ``"fast"`` engine mode only visits routers that can make
+progress this cycle — those with buffered flits, plus those that just
+received a credit (a returning credit can release an output VC under
 atomic reallocation, and the allocation round must observe and then clear
 the freshly-released set that cycle).  Inter-router link endpoints are
 precomputed per router so the per-flit hot path performs no topology
@@ -32,6 +32,21 @@ queries.  ``engine_mode="legacy"`` keeps the original visit-every-router
 loop; both modes produce bit-identical results (the benchmark suite and
 ``tests/unit/test_engine.py`` check this), so the legacy mode serves as
 the baseline for ``benchmarks/run_bench.py``.
+
+Idle-cycle skipping: the default ``"skip"`` mode layers a
+cycle-driven→event-driven hybrid on top of ``"fast"``.  When the network
+is completely quiescent — no flit buffered anywhere (``_flits_in_network``
+counts router, link, and sink occupancy), no source backlog, and no
+flit/credit/sink delivery in the one-cycle link pipelines — nothing can
+happen until the traffic generator's next injection, so :meth:`run`
+advances ``self.cycle`` directly to
+:meth:`~repro.traffic.patterns.TrafficGenerator.next_event_cycle` instead
+of stepping through empty cycles.  The jump is clamped to the
+warm-up/measurement boundaries so phase transitions still happen on the
+exact cycle, and the lookahead machinery in
+:class:`~repro.traffic.patterns.LookaheadTraffic` consumes the RNG
+exactly as per-cycle generation would — results stay bit-identical to
+both other modes.
 """
 
 from __future__ import annotations
@@ -55,6 +70,12 @@ from repro.traffic.patterns import TrafficGenerator
 #: the engine declares a deadlock.
 DEADLOCK_WINDOW = 5000
 
+#: Bumped whenever a change could alter simulation results (new pipeline
+#: stage ordering, RNG consumption, allocation policy, ...).  The result
+#: cache (:mod:`repro.harness.cache`) folds this into every cache key, so
+#: stale on-disk entries invalidate themselves on upgrade.
+ENGINE_VERSION = 2
+
 
 class Simulator:
     """One simulated network plus its workload."""
@@ -64,9 +85,9 @@ class Simulator:
         config: SimulationConfig,
         traffic: TrafficGenerator | None = None,
         *,
-        engine_mode: str = "fast",
+        engine_mode: str = "skip",
     ) -> None:
-        if engine_mode not in ("fast", "legacy"):
+        if engine_mode not in ("skip", "fast", "legacy"):
             raise ValueError(f"unknown engine mode {engine_mode!r}")
         self.engine_mode = engine_mode
         self.config = config
@@ -106,8 +127,12 @@ class Simulator:
         self.cycle = 0
         self._last_progress_cycle = 0
         self._flits_in_network = 0
+        #: Flits enqueued at sources but not yet injected (aggregate of
+        #: ``Source.pending_flits``); part of the quiescence check.
+        self._source_backlog = 0
+        self._skip_idle = engine_mode == "skip"
         self._step_impl = (
-            self._step_fast if engine_mode == "fast" else self._step_legacy
+            self._step_legacy if engine_mode == "legacy" else self._step_fast
         )
 
         # Per-router link-endpoint tables, indexed [node][direction]:
@@ -269,9 +294,11 @@ class Simulator:
             if in_window:
                 self.window_offered_flits += packet.size
             self.sources[packet.src].enqueue(packet)
+            self._source_backlog += packet.size
         for source in self.sources:
             if source.pending_flits and source.inject(cycle):
                 self._flits_in_network += 1
+                self._source_backlog -= 1
                 progressed = True
 
         self._watchdog(progressed, cycle)
@@ -352,9 +379,13 @@ class Simulator:
             if in_window:
                 self.window_offered_flits += packet.size
             self.sources[packet.src].enqueue(packet)
+            self._source_backlog += packet.size
         for source in self.sources:
-            if source.inject(cycle):
+            # Same pending_flits guard as fast mode: the bit-identical
+            # baseline shouldn't pay for provably-empty injection calls.
+            if source.pending_flits and source.inject(cycle):
                 self._flits_in_network += 1
+                self._source_backlog -= 1
                 progressed = True
 
         self._watchdog(progressed, cycle)
@@ -374,20 +405,81 @@ class Simulator:
             )
 
     # ------------------------------------------------------------------
+    # Idle-cycle skipping
+    # ------------------------------------------------------------------
+    def _skip_idle_cycles(self, limit: int) -> int:
+        """Advance the clock over provably-empty cycles; return the count.
+
+        Only engages when the network is fully quiescent: no flit
+        buffered in any router, link pipeline, or sink, no source
+        backlog, and no credit return in flight.  (``credit_pending``
+        flags and output-port drain state are always resolved within the
+        cycle that set them, so between steps the three pipeline lists
+        plus the two counters cover every bit of live state.)  The jump
+        is clamped to the next phase boundary — warm-up end, measurement
+        end, or the cycle limit — so :meth:`run`'s phase transitions
+        still fire on the exact cycle they would when stepping.
+        """
+        if (
+            self._flits_in_network
+            or self._source_backlog
+            or self._flits_next
+            or self._credits_next
+            or self._sink_next
+        ):
+            return 0
+        cycle = self.cycle
+        if cycle < self._measure_start:
+            boundary = self._measure_start
+        elif cycle < self._measure_end:
+            boundary = self._measure_end
+        else:
+            boundary = limit
+        if boundary > limit:
+            boundary = limit
+        event = self.traffic.next_event_cycle(cycle, boundary)
+        target = boundary if event is None else min(event, boundary)
+        skipped = target - cycle
+        if skipped <= 0:
+            return 0
+        if self.utilization is not None:
+            # Legacy counts every cycle toward utilization denominators.
+            self.utilization.cycles += skipped
+        self.cycle = target
+        return skipped
+
+    # ------------------------------------------------------------------
     def run(self) -> SimulationResult:
         """Run warm-up, measurement, and drain; return the result."""
         limit = self.config.max_cycles
+        measure_start = self._measure_start
         measure_end = self._measure_end
+        skip_idle = self._skip_idle
+        sampling = False
         while self.cycle < limit:
-            self.step()
-            if self.cycle == self._measure_start:
-                for router in self.routers:
-                    router.enable_blocking_sampling(True)
-            if self.cycle >= measure_end:
-                for router in self.routers:
-                    router.enable_blocking_sampling(False)
+            cycle = self.cycle
+            # Phase transitions happen *before* the step so that cycle
+            # ``measure_start`` itself is simulated with sampling on —
+            # including when ``warmup_cycles == 0`` (enabling only after
+            # step() used to miss the whole window in that case).
+            if cycle >= measure_end:
+                if sampling:
+                    for router in self.routers:
+                        router.enable_blocking_sampling(False)
+                    sampling = False
                 if self.measured_ejected == self.measured_created:
                     break
+            elif cycle >= measure_start and not sampling:
+                for router in self.routers:
+                    router.enable_blocking_sampling(True)
+                sampling = True
+            if skip_idle and self._skip_idle_cycles(limit):
+                # Re-run the boundary checks at the new cycle.
+                continue
+            self.step()
+        if sampling:
+            for router in self.routers:
+                router.enable_blocking_sampling(False)
         return self._result()
 
     def _result(self) -> SimulationResult:

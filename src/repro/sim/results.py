@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.metrics.stats import LatencyStats
 from repro.router.router import BlockingStats
@@ -68,6 +69,59 @@ class SimulationResult:
         """Mean latency of packets in flow ``flow`` (NaN if none ejected)."""
         stats = self.latency_by_flow.get(flow)
         return stats.mean if stats is not None else math.nan
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable form; inverse of :meth:`from_dict`.
+
+        Used by the persistent result cache: the full latency sample
+        sets are retained so a cache hit answers every percentile query
+        exactly as the original run would.
+        """
+        return {
+            "config": self.config.to_dict(),
+            "cycles_run": self.cycles_run,
+            "latency": self.latency.samples(),
+            "latency_by_flow": {
+                flow: stats.samples()
+                for flow, stats in self.latency_by_flow.items()
+            },
+            "accepted_flits": self.accepted_flits,
+            "offered_flits": self.offered_flits,
+            "measured_created": self.measured_created,
+            "measured_ejected": self.measured_ejected,
+            "blocking": {
+                "blocking_events": self.blocking.blocking_events,
+                "busy_vc_samples": self.blocking.busy_vc_samples,
+                "footprint_vc_samples": self.blocking.footprint_vc_samples,
+            },
+            "notes": dict(self.notes),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "SimulationResult":
+        """Rebuild a result from :meth:`to_dict` output (or parsed JSON)."""
+        blocking = BlockingStats()
+        blocking.blocking_events = data["blocking"]["blocking_events"]
+        blocking.busy_vc_samples = data["blocking"]["busy_vc_samples"]
+        blocking.footprint_vc_samples = data["blocking"][
+            "footprint_vc_samples"
+        ]
+        return cls(
+            config=SimulationConfig.from_dict(data["config"]),
+            cycles_run=data["cycles_run"],
+            latency=LatencyStats.from_samples(data["latency"]),
+            latency_by_flow={
+                flow: LatencyStats.from_samples(samples)
+                for flow, samples in data["latency_by_flow"].items()
+            },
+            accepted_flits=data["accepted_flits"],
+            offered_flits=data["offered_flits"],
+            measured_created=data["measured_created"],
+            measured_ejected=data["measured_ejected"],
+            blocking=blocking,
+            notes=dict(data["notes"]),
+        )
 
     def summary(self) -> str:
         """One-line report used by the CLI and the experiment harness."""

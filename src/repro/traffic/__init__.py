@@ -2,6 +2,7 @@
 
 from repro.traffic.patterns import (
     PATTERNS,
+    LookaheadTraffic,
     SyntheticTraffic,
     TrafficGenerator,
     pattern_destination,
@@ -12,6 +13,7 @@ from repro.traffic.factory import create_traffic
 
 __all__ = [
     "PATTERNS",
+    "LookaheadTraffic",
     "SyntheticTraffic",
     "TrafficGenerator",
     "pattern_destination",

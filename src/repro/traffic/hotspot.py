@@ -17,7 +17,7 @@ from repro.router.flit import Packet
 from repro.sim.config import SimulationConfig
 from repro.topology.mesh import Mesh2D
 from repro.traffic.injection import bernoulli_generates, sample_packet_size
-from repro.traffic.patterns import TrafficGenerator, pattern_destination
+from repro.traffic.patterns import LookaheadTraffic, pattern_destination
 
 
 def default_hotspot_flows(mesh: Mesh2D) -> list[tuple[int, int]]:
@@ -53,7 +53,7 @@ def default_hotspot_flows(mesh: Mesh2D) -> list[tuple[int, int]]:
     ]
 
 
-class HotspotTraffic(TrafficGenerator):
+class HotspotTraffic(LookaheadTraffic):
     """Persistent hotspot flows plus uniform-random background traffic."""
 
     def __init__(
@@ -63,6 +63,7 @@ class HotspotTraffic(TrafficGenerator):
         rng: random.Random,
         flows: list[tuple[int, int]] | None = None,
     ) -> None:
+        super().__init__()
         self.config = config
         self.mesh = mesh
         self.rng = rng
@@ -80,7 +81,7 @@ class HotspotTraffic(TrafficGenerator):
         for src, dst in self.flows:
             self._flow_sources.setdefault(src, []).append(dst)
 
-    def generate(self, cycle: int, measured: bool) -> list[Packet]:
+    def _generate_packets(self, cycle: int) -> list[Packet]:
         packets: list[Packet] = []
         mean_size = self.config.mean_packet_size
 
@@ -119,7 +120,16 @@ class HotspotTraffic(TrafficGenerator):
                     size=sample_packet_size(self.config, self.rng),
                     creation_time=cycle,
                     flow="background",
-                    measured=measured,
+                    measured=True,
                 )
             )
         return packets
+
+    def next_event_cycle(self, now: int, horizon: int) -> int | None:
+        if (
+            self.config.hotspot_rate <= 0.0
+            and self.config.background_rate <= 0.0
+            and self._buffer_cycle < now
+        ):
+            return None
+        return super().next_event_cycle(now, horizon)

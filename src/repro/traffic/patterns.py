@@ -39,6 +39,93 @@ class TrafficGenerator(abc.ABC):
     def generate(self, cycle: int, measured: bool) -> list[Packet]:
         """Packets created at ``cycle``; ``measured`` marks the window."""
 
+    def next_event_cycle(self, now: int, horizon: int) -> int | None:
+        """Earliest cycle ``>= now`` at which :meth:`generate` may produce
+        packets.
+
+        Used by the engine's idle-cycle skipping: when the network is
+        completely quiescent, the engine advances its clock directly to
+        the returned cycle instead of stepping through empty cycles.
+
+        Contract:
+
+        * ``None`` means *provably no packets before* ``horizon``; the
+          engine may jump straight to ``horizon``.
+        * A returned cycle may lie at or beyond ``horizon``; the engine
+          clamps.  Returning ``now`` is always safe (it disables
+          skipping for this generator), and is the default so that
+          custom generators that know nothing about skipping keep their
+          exact cycle-by-cycle behaviour.
+        * Implementations that consume RNG state per simulated cycle
+          (Bernoulli injection) must consume *exactly* the draws that
+          per-cycle :meth:`generate` calls would have made for the
+          scanned cycles, so that skipping stays bit-identical to
+          stepping.  :class:`LookaheadTraffic` provides that machinery.
+        """
+        return now
+
+
+class LookaheadTraffic(TrafficGenerator):
+    """RNG-consuming generator with buffered lookahead for idle skipping.
+
+    Subclasses implement :meth:`_generate_packets` — the per-cycle
+    generation including every RNG draw — and mark packets that are
+    *eligible* for measurement with ``measured=True`` (ineligible flows,
+    e.g. hotspot foreground traffic, with ``False``).  The base class
+    then serves both entry points from that single implementation:
+
+    * :meth:`generate` runs (or replays) one cycle and downgrades
+      ``measured`` to ``False`` outside the measurement window;
+    * :meth:`next_event_cycle` scans forward cycle by cycle, consuming
+      the RNG exactly as per-cycle generation would, and buffers the
+      first non-empty cycle's packets so the subsequent
+      :meth:`generate` call returns them unchanged.
+
+    ``_scanned_to`` tracks the first cycle whose RNG draws have *not*
+    been consumed yet; replayed cycles below it return the buffer (or
+    nothing) without touching the RNG, which keeps results bit-identical
+    whether the engine steps or skips.
+    """
+
+    def __init__(self) -> None:
+        self._buffer: list[Packet] = []
+        self._buffer_cycle = -1
+        self._scanned_to = 0
+
+    @abc.abstractmethod
+    def _generate_packets(self, cycle: int) -> list[Packet]:
+        """One cycle of generation; ``measured`` marks *eligibility*."""
+
+    def generate(self, cycle: int, measured: bool) -> list[Packet]:
+        if cycle < self._scanned_to:
+            # The lookahead already consumed this cycle's RNG draws.
+            if cycle != self._buffer_cycle:
+                return []
+            packets = self._buffer
+            self._buffer = []
+            self._buffer_cycle = -1
+        else:
+            packets = self._generate_packets(cycle)
+            self._scanned_to = cycle + 1
+        if not measured:
+            for packet in packets:
+                packet.measured = False
+        return packets
+
+    def next_event_cycle(self, now: int, horizon: int) -> int | None:
+        if self._buffer_cycle >= now:
+            return self._buffer_cycle
+        cycle = max(now, self._scanned_to)
+        while cycle < horizon:
+            packets = self._generate_packets(cycle)
+            self._scanned_to = cycle + 1
+            if packets:
+                self._buffer = packets
+                self._buffer_cycle = cycle
+                return cycle
+            cycle += 1
+        return None
+
 
 # ----------------------------------------------------------------------
 # Destination functions
@@ -124,7 +211,7 @@ def pattern_destination(
 
 
 # ----------------------------------------------------------------------
-class SyntheticTraffic(TrafficGenerator):
+class SyntheticTraffic(LookaheadTraffic):
     """Bernoulli-injected synthetic traffic under a named pattern."""
 
     def __init__(
@@ -134,6 +221,7 @@ class SyntheticTraffic(TrafficGenerator):
         mesh: Mesh2D,
         rng: random.Random,
     ) -> None:
+        super().__init__()
         if pattern not in PATTERNS:
             raise TrafficError(
                 f"unknown traffic pattern '{pattern}'; "
@@ -147,12 +235,21 @@ class SyntheticTraffic(TrafficGenerator):
         for src in range(mesh.num_nodes):
             pattern_destination(pattern, mesh, src, rng)
 
-    def generate(self, cycle: int, measured: bool) -> list[Packet]:
+    def _generate_packets(self, cycle: int) -> list[Packet]:
         packets: list[Packet] = []
-        mean_size = self.config.mean_packet_size
         rate = self.config.injection_rate
+        if rate <= 0.0:
+            # bernoulli_generates draws nothing at rate 0, so skipping
+            # the whole scan consumes the same RNG state: none.
+            return packets
+        # Inlined Bernoulli process (one rng.random() per node per cycle,
+        # exactly like bernoulli_generates): this loop dominates the
+        # idle-cycle lookahead, where every cycle is scanned but almost
+        # none produce a packet.
+        threshold = rate / self.config.mean_packet_size
+        rng_random = self.rng.random
         for src in range(self.mesh.num_nodes):
-            if not bernoulli_generates(rate, mean_size, self.rng):
+            if rng_random() >= threshold:
                 continue
             dst = pattern_destination(self.pattern, self.mesh, src, self.rng)
             if dst is None:
@@ -164,7 +261,13 @@ class SyntheticTraffic(TrafficGenerator):
                     size=sample_packet_size(self.config, self.rng),
                     creation_time=cycle,
                     flow=self.pattern,
-                    measured=measured,
+                    measured=True,
                 )
             )
         return packets
+
+    def next_event_cycle(self, now: int, horizon: int) -> int | None:
+        if self.config.injection_rate <= 0.0 and self._buffer_cycle < now:
+            # Bernoulli at rate 0 consumes no RNG and never fires.
+            return None
+        return super().next_event_cycle(now, horizon)

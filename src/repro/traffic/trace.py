@@ -111,3 +111,10 @@ class TraceTraffic(TrafficGenerator):
                 )
             )
         return packets
+
+    def next_event_cycle(self, now: int, horizon: int) -> int | None:
+        # Traces consume no RNG, so the next event is just the next
+        # not-yet-replayed record (late events inject immediately).
+        if self._next >= len(self.events):
+            return None
+        return max(now, self.events[self._next].cycle)

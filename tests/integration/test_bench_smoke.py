@@ -28,18 +28,26 @@ def test_quick_bench_writes_report(run_bench, tmp_path):
     assert len(reports) == 1
     payload = json.loads(reports[0].read_text())
 
-    assert payload["schema"] == "footprint-noc-bench/1"
+    assert payload["schema"] == "footprint-noc-bench/2"
     assert payload["quick"] is True
 
     engine = payload["engine"]
     assert len(engine["matrix"]) == len(run_bench.QUICK_MATRIX)
     for entry in engine["matrix"]:
         assert entry["results_identical"] is True
+        assert entry["skip_cycles_per_sec"] > 0
         assert entry["fast_cycles_per_sec"] > 0
         assert entry["legacy_cycles_per_sec"] > 0
     assert engine["summary"]["geomean_speedup"] > 0
+    assert engine["summary"]["zero_load_geomean_speedup"] > 0
 
     assert payload["baseline"] == {"skipped": "--no-baseline"}
+
+    cache = payload["cache"]
+    assert cache["warm_misses"] == 0
+    assert cache["warm_simulations"] == 0
+    assert cache["warm_hits"] == cache["tasks"]
+    assert cache["results_identical"] is True
 
     parallel = payload["parallel"]
     assert parallel["results_identical"] is True

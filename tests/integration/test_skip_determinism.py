@@ -1,0 +1,128 @@
+"""Idle-cycle skipping must be bit-identical to cycle-by-cycle stepping.
+
+The ``skip`` engine mode jumps the clock over provably quiescent cycles
+while consuming the traffic RNG exactly as per-cycle stepping would.
+These tests pin the invariant on every routing algorithm and every
+traffic family (synthetic, hotspot, trace), comparing results down to
+individual latency samples.
+"""
+
+import pytest
+
+from repro.routing.registry import available_algorithms
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import Simulator
+from repro.traffic.trace import TraceEvent
+
+
+def _signature(result):
+    return (
+        result.cycles_run,
+        result.accepted_flits,
+        result.offered_flits,
+        result.measured_created,
+        result.measured_ejected,
+        result.blocking.blocking_events,
+        result.blocking.busy_vc_samples,
+        result.blocking.footprint_vc_samples,
+        tuple(result.latency._samples),
+        tuple(
+            sorted(
+                (flow, tuple(stats._samples))
+                for flow, stats in result.latency_by_flow.items()
+            )
+        ),
+    )
+
+
+def _run(mode, **overrides):
+    base = dict(
+        width=4,
+        num_vcs=4,
+        routing="footprint",
+        injection_rate=0.005,
+        warmup_cycles=80,
+        measure_cycles=200,
+        drain_cycles=400,
+        seed=7,
+    )
+    base.update(overrides)
+    return Simulator(SimulationConfig(**base), engine_mode=mode).run()
+
+
+@pytest.mark.parametrize("routing", available_algorithms())
+def test_skip_matches_legacy_all_algorithms(routing):
+    """Low injection rate so the network goes quiescent and skipping
+    actually engages for every algorithm."""
+    overrides = {"routing": routing}
+    assert _signature(_run("skip", **overrides)) == _signature(
+        _run("legacy", **overrides)
+    )
+
+
+@pytest.mark.parametrize("routing", ["footprint", "dor"])
+def test_three_modes_agree_under_load(routing):
+    overrides = {"routing": routing, "injection_rate": 0.15}
+    legacy = _signature(_run("legacy", **overrides))
+    assert _signature(_run("fast", **overrides)) == legacy
+    assert _signature(_run("skip", **overrides)) == legacy
+
+
+def test_skip_matches_legacy_hotspot():
+    overrides = {
+        "traffic": "hotspot",
+        "injection_rate": 0.0,
+        "hotspot_rate": 0.02,
+        "background_rate": 0.01,
+    }
+    assert _signature(_run("skip", **overrides)) == _signature(
+        _run("legacy", **overrides)
+    )
+
+
+def test_skip_matches_legacy_trace():
+    # Sparse trace with long gaps: skipping jumps straight between events.
+    events = [
+        TraceEvent(5, 0, 15, size=2),
+        TraceEvent(400, 3, 12),
+        TraceEvent(401, 12, 3),
+        TraceEvent(900, 15, 0, size=3),
+    ]
+    overrides = {
+        "traffic": "trace",
+        "trace": events,
+        "injection_rate": 0.0,
+        "warmup_cycles": 0,
+        "measure_cycles": 1200,
+        "drain_cycles": 600,
+    }
+    assert _signature(_run("skip", **overrides)) == _signature(
+        _run("legacy", **overrides)
+    )
+
+
+def test_skip_matches_legacy_zero_load():
+    # Nothing ever injects; the skip engine jumps straight through the
+    # whole simulation while legacy steps every cycle.
+    overrides = {"injection_rate": 0.0}
+    assert _signature(_run("skip", **overrides)) == _signature(
+        _run("legacy", **overrides)
+    )
+
+
+def test_warmup_zero_enables_blocking_sampling():
+    """Regression: with ``warmup_cycles == 0`` the run loop used to skip
+    the warmup→measurement transition and never enabled blocking
+    sampling, silently zeroing the purity statistics."""
+    config = SimulationConfig(
+        width=4,
+        num_vcs=2,
+        routing="footprint",
+        injection_rate=0.3,
+        warmup_cycles=0,
+        measure_cycles=400,
+        drain_cycles=800,
+        seed=3,
+    )
+    result = Simulator(config).run()
+    assert result.blocking.busy_vc_samples > 0

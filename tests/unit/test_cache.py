@@ -1,0 +1,191 @@
+"""Unit tests for the persistent result cache."""
+
+import dataclasses
+import json
+import random
+
+import pytest
+
+from repro.harness.cache import (
+    CACHE_ENV,
+    DEFAULT_CACHE_DIR,
+    ResultCache,
+    config_cache_key,
+    default_cache_dir,
+)
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import Simulator
+from repro.traffic.trace import TraceEvent
+
+
+def _config(**overrides):
+    base = dict(
+        width=4,
+        num_vcs=4,
+        routing="footprint",
+        injection_rate=0.05,
+        warmup_cycles=20,
+        measure_cycles=60,
+        drain_cycles=200,
+        seed=2,
+    )
+    base.update(overrides)
+    return SimulationConfig(**base)
+
+
+def _result(**overrides):
+    return Simulator(_config(**overrides)).run()
+
+
+def _signature(result):
+    return (
+        result.cycles_run,
+        result.accepted_flits,
+        result.offered_flits,
+        result.measured_created,
+        result.measured_ejected,
+        result.blocking.blocking_events,
+        result.blocking.busy_vc_samples,
+        result.blocking.footprint_vc_samples,
+        sorted(result.latency._samples),
+        result.config.to_dict(),
+    )
+
+
+class TestCacheKey:
+    def test_same_config_same_key(self):
+        assert config_cache_key(_config()) == config_cache_key(_config())
+
+    def test_every_field_change_changes_key(self):
+        base = _config()
+        base_key = config_cache_key(base)
+        tweaks = {
+            "width": 8,
+            "height": 2,
+            "num_vcs": 6,
+            "vc_buffer_depth": 8,
+            "routing": "dor",
+            "traffic": "transpose",
+            "injection_rate": 0.06,
+            "packet_size": 2,
+            "packet_size_range": (1, 4),
+            "warmup_cycles": 21,
+            "measure_cycles": 61,
+            "drain_cycles": 201,
+            "hotspot_rate": 0.2,
+            "background_rate": 0.4,
+            "footprint_vc_limit": 3,
+            "seed": 3,
+            "internal_speedup": 3,
+            "output_buffer_depth": 16,
+            "ejection_rate": 0.5,
+            "congestion_threshold": 0.25,
+            "track_utilization": True,
+        }
+        # Every SimulationConfig field must feed the hash: a stale field
+        # here means a config knob was added without extending the test.
+        covered = set(tweaks) | {"trace"}
+        assert covered == {f.name for f in dataclasses.fields(base)}
+        for field, value in tweaks.items():
+            changed = dataclasses.replace(base, **{field: value})
+            assert config_cache_key(changed) != base_key, field
+
+    def test_trace_events_feed_the_key(self):
+        with_trace = _config(
+            traffic="trace", trace=[TraceEvent(1, 0, 5)], injection_rate=0.0
+        )
+        other_trace = _config(
+            traffic="trace", trace=[TraceEvent(2, 0, 5)], injection_rate=0.0
+        )
+        assert config_cache_key(with_trace) != config_cache_key(other_trace)
+
+    def test_reordered_dict_fields_same_key(self):
+        config = _config()
+        shuffled_items = list(config.to_dict().items())
+        random.Random(0).shuffle(shuffled_items)
+        rebuilt = SimulationConfig.from_dict(dict(shuffled_items))
+        assert config_cache_key(rebuilt) == config_cache_key(config)
+
+    def test_engine_version_feeds_the_key(self, monkeypatch):
+        import repro.sim.engine as engine
+
+        key = config_cache_key(_config())
+        monkeypatch.setattr(engine, "ENGINE_VERSION", engine.ENGINE_VERSION + 1)
+        assert config_cache_key(_config()) != key
+
+
+class TestResultCache:
+    def test_miss_then_hit_round_trips(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        result = _result()
+        assert cache.get(result.config) is None
+        cache.put(result)
+        cached = cache.get(result.config)
+        assert cached is not None
+        assert _signature(cached) == _signature(result)
+        assert (cache.hits, cache.misses, cache.lookups) == (1, 1, 2)
+
+    def test_distinct_configs_do_not_collide(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(_result())
+        assert cache.get(_config(seed=99)) is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        result = _result()
+        cache.put(result)
+        cache._path(config_cache_key(result.config)).write_text("{not json")
+        assert cache.get(result.config) is None
+
+    def test_put_overwrites_corrupt_entry(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        result = _result()
+        path = cache._path(config_cache_key(result.config))
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("garbage")
+        cache.put(result)
+        assert cache.get(result.config) is not None
+
+    def test_no_stray_temp_files(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(_result())
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_describe_mentions_counts(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.get(_config())
+        text = cache.describe()
+        assert "0 hits" in text and "1 misses" in text
+
+
+class TestDefaultDirectory:
+    def test_env_var_overrides(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(CACHE_ENV, str(tmp_path / "envcache"))
+        assert default_cache_dir() == tmp_path / "envcache"
+        assert ResultCache().directory == tmp_path / "envcache"
+
+    def test_fallback_without_env(self, monkeypatch):
+        monkeypatch.delenv(CACHE_ENV, raising=False)
+        assert str(default_cache_dir()) == DEFAULT_CACHE_DIR
+
+    def test_blank_env_falls_back(self, monkeypatch):
+        monkeypatch.setenv(CACHE_ENV, "   ")
+        assert str(default_cache_dir()) == DEFAULT_CACHE_DIR
+
+
+class TestConfigRoundTrip:
+    def test_to_from_dict_preserves_key(self):
+        config = _config(packet_size_range=(1, 6))
+        blob = json.dumps(config.to_dict())
+        rebuilt = SimulationConfig.from_dict(json.loads(blob))
+        assert config_cache_key(rebuilt) == config_cache_key(config)
+
+    def test_trace_round_trip_preserves_key(self):
+        config = _config(
+            traffic="trace",
+            trace=[TraceEvent(3, 1, 9, size=2, flow="app")],
+            injection_rate=0.0,
+        )
+        blob = json.dumps(config.to_dict())
+        rebuilt = SimulationConfig.from_dict(json.loads(blob))
+        assert config_cache_key(rebuilt) == config_cache_key(config)
