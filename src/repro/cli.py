@@ -7,8 +7,15 @@ simulation or a whole paper experiment::
         --injection-rate 0.3 --width 8 --vcs 10
 
     footprint-noc experiment fig9 --scale smoke
+    footprint-noc experiment fault-sweep --scale smoke --fault-kind link
     footprint-noc experiment table1
+    footprint-noc run --faults 'link:5:east,router:10@200+500'
+    footprint-noc cache stats
     footprint-noc list
+
+Validation failures (unknown algorithm or pattern, malformed fault spec,
+inconsistent configuration) print a one-line ``error: ...`` message and
+exit with status 2 instead of dumping a traceback.
 """
 
 from __future__ import annotations
@@ -16,6 +23,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.exceptions import ReproError
 from repro.harness import experiments as exp
 from repro.harness import reporting
 from repro.harness.runner import run_simulation
@@ -33,6 +41,21 @@ def _jobs_arg(text: str) -> str:
     except ValueError as exc:
         raise argparse.ArgumentTypeError(str(exc)) from None
     return text
+
+
+def _fault_counts_arg(text: str) -> tuple[int, ...]:
+    """Parse --fault-counts: comma-separated non-negative ints."""
+    try:
+        counts = tuple(int(item) for item in text.split(",") if item.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated integers, got {text!r}"
+        ) from None
+    if not counts or any(c < 0 for c in counts):
+        raise argparse.ArgumentTypeError(
+            f"fault counts must be non-negative integers, got {text!r}"
+        )
+    return counts
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -68,6 +91,18 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--background-rate", type=float, default=0.3)
     run.add_argument("--footprint-vc-limit", type=int, default=None)
     run.add_argument("--seed", type=int, default=1)
+    run.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "fault schedule: comma-separated 'link:NODE:DIR', "
+            "'router:NODE', 'links:K' or 'routers:K' items, each with "
+            "optional '@CYCLE' (activation), '+DURATION' (transient) "
+            "and, for the random forms, '~SEED' modifiers — e.g. "
+            "'link:5:east,routers:2~7@100+500'"
+        ),
+    )
 
     experiment = sub.add_parser(
         "experiment", help="regenerate one of the paper's figures/tables"
@@ -84,6 +119,7 @@ def _build_parser() -> argparse.ArgumentParser:
             "fig10",
             "table1",
             "cost",
+            "fault-sweep",
         ],
     )
     experiment.add_argument(
@@ -135,12 +171,66 @@ def _build_parser() -> argparse.ArgumentParser:
         help="where --profile writes its .pstats dump "
         "(default: profile_<figure>.pstats)",
     )
+    experiment.add_argument(
+        "--fault-kind",
+        choices=["link", "router"],
+        default="link",
+        help="component class the fault-sweep experiment breaks",
+    )
+    experiment.add_argument(
+        "--fault-counts",
+        type=_fault_counts_arg,
+        default=None,
+        metavar="K,K,...",
+        help=(
+            "fault counts swept by the fault-sweep experiment "
+            "(default: the scale's ladder, e.g. 0,1,2,4,8)"
+        ),
+    )
+
+    cache = sub.add_parser(
+        "cache", help="inspect or trim the persistent result cache"
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    for name, help_text in (
+        ("stats", "entry count and total size of the store"),
+        ("clear", "delete every cached result"),
+        ("prune", "keep only the newest N entries"),
+    ):
+        cache_cmd = cache_sub.add_parser(name, help=help_text)
+        cache_cmd.add_argument(
+            "--cache-dir",
+            default=None,
+            metavar="DIR",
+            help=(
+                "cache directory (default: $REPRO_CACHE_DIR, else "
+                "./.repro-cache)"
+            ),
+        )
+        if name == "prune":
+            cache_cmd.add_argument(
+                "--max-entries",
+                type=int,
+                required=True,
+                metavar="N",
+                help="number of most-recent entries to keep",
+            )
 
     sub.add_parser("list", help="list routing algorithms and traffic patterns")
     return parser
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    faults = None
+    if args.faults is not None:
+        from repro.faults.schedule import parse_fault_spec
+
+        faults = parse_fault_spec(
+            args.faults,
+            args.width,
+            args.height if args.height is not None else args.width,
+            default_seed=args.seed,
+        )
     config = SimulationConfig(
         width=args.width,
         height=args.height,
@@ -162,9 +252,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         background_rate=args.background_rate,
         footprint_vc_limit=args.footprint_vc_limit,
         seed=args.seed,
+        faults=faults,
     )
     result = run_simulation(config, verbose=False)
     print(f"configuration : {config.describe()}")
+    if faults is not None:
+        print(f"faults        : {faults.describe()}")
     print(f"cycles run    : {result.cycles_run}")
     if result.latency.count:
         print(f"avg latency   : {result.avg_latency:.2f} cycles")
@@ -174,6 +267,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"accepted rate : {result.accepted_rate:.4f} flits/node/cycle")
     print(f"offered rate  : {result.offered_rate:.4f} flits/node/cycle")
     print(f"drained       : {'yes' if result.drained else 'no'}")
+    if faults is not None:
+        fraction = result.delivered_fraction
+        text = "n/a" if fraction != fraction else f"{fraction:.4f}"
+        print(f"delivered frac: {text}")
     if result.blocking.blocking_events:
         print(f"block purity  : {result.blocking.purity:.3f}")
     return 0
@@ -252,6 +349,19 @@ def _run_experiment(args: argparse.Namespace, cache) -> None:
         print(reporting.report_table1(exp.table1_adaptiveness()))
     elif figure == "cost":
         print(reporting.report_cost(exp.cost_table()))
+    elif figure == "fault-sweep":
+        print(
+            reporting.report_fault_sweep(
+                exp.fault_sweep(
+                    scale,
+                    fault_counts=args.fault_counts,
+                    fault_kind=args.fault_kind,
+                    seed=args.seed,
+                    jobs=jobs,
+                    cache=cache,
+                )
+            )
+        )
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
@@ -282,6 +392,32 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.harness.cache import ResultCache
+
+    cache = ResultCache(args.cache_dir)
+    command = args.cache_command
+    if command == "stats":
+        stats = cache.stats()
+        kib = stats["total_bytes"] / 1024.0
+        print(f"directory : {stats['directory']}")
+        print(f"entries   : {stats['entries']}")
+        print(f"size      : {kib:.1f} KiB")
+    elif command == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} entries from {cache.directory}")
+    elif command == "prune":
+        if args.max_entries < 0:
+            print("error: --max-entries must be >= 0", file=sys.stderr)
+            return 2
+        removed = cache.prune(args.max_entries)
+        print(
+            f"removed {removed} entries from {cache.directory} "
+            f"(keeping newest {args.max_entries})"
+        )
+    return 0
+
+
 def _cmd_list(_args: argparse.Namespace) -> int:
     print("routing algorithms:")
     for name in available_algorithms():
@@ -299,9 +435,17 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "run": _cmd_run,
         "experiment": _cmd_experiment,
+        "cache": _cmd_cache,
         "list": _cmd_list,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        # Validation problems (unknown algorithm/pattern, malformed fault
+        # spec, inconsistent config) are user errors, not crashes: one
+        # line on stderr, nonzero exit, no traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

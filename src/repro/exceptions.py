@@ -35,5 +35,9 @@ class TrafficError(ReproError):
     """A traffic pattern or trace was invalid for the requested network."""
 
 
+class FaultError(ReproError):
+    """A fault schedule or fault specification was invalid for the network."""
+
+
 class SimulationError(ReproError):
     """The simulation engine reached an inconsistent state."""

@@ -5,6 +5,8 @@ from repro.harness.experiments import (
     SMOKE,
     BENCH,
     PAPER,
+    FaultSweepEntry,
+    fault_sweep,
     fig2_congestion_tree,
     fig5_latency_throughput,
     fig6_variable_packet_size,
@@ -21,6 +23,8 @@ __all__ = [
     "SMOKE",
     "BENCH",
     "PAPER",
+    "FaultSweepEntry",
+    "fault_sweep",
     "fig2_congestion_tree",
     "fig5_latency_throughput",
     "fig6_variable_packet_size",

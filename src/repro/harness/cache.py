@@ -125,3 +125,71 @@ class ResultCache:
             f"cache {self.directory}: {self.hits} hits, "
             f"{self.misses} misses"
         )
+
+    # ------------------------------------------------------------------
+    # Store management (the `repro cache` CLI)
+    # ------------------------------------------------------------------
+    def entry_paths(self) -> list[Path]:
+        """Paths of all cache entries, sorted by name (i.e. by key)."""
+        if not self.directory.is_dir():
+            return []
+        return sorted(
+            p for p in self.directory.glob("*.json") if p.is_file()
+        )
+
+    def stats(self) -> dict[str, object]:
+        """Entry count and total size of the on-disk store."""
+        entries = self.entry_paths()
+        total_bytes = 0
+        for path in entries:
+            try:
+                total_bytes += path.stat().st_size
+            except OSError:
+                # Entry vanished mid-scan (concurrent prune/clear).
+                pass
+        return {
+            "directory": str(self.directory),
+            "entries": len(entries),
+            "total_bytes": total_bytes,
+        }
+
+    def clear(self) -> int:
+        """Delete every entry; return the number removed."""
+        removed = 0
+        for path in self.entry_paths():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def prune(self, max_entries: int) -> int:
+        """Keep the ``max_entries`` most recently written entries.
+
+        Eviction is oldest-first by modification time (ties broken by
+        name for determinism); returns the number of entries removed.
+        """
+        if max_entries < 0:
+            raise ValueError("max_entries must be >= 0")
+        entries = self.entry_paths()
+        if len(entries) <= max_entries:
+            return 0
+
+        def age_key(path: Path) -> tuple[float, str]:
+            try:
+                mtime = path.stat().st_mtime
+            except OSError:
+                mtime = 0.0
+            return (mtime, path.name)
+
+        entries.sort(key=age_key)
+        removed = 0
+        excess = len(entries) - max_entries
+        for path in entries[:excess]:
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

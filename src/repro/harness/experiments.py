@@ -29,13 +29,20 @@ from typing import TYPE_CHECKING
 from repro.core.adaptiveness import qualitative_comparison
 from repro.core.congestion import CongestionTree, extract_congestion_tree
 from repro.core.cost import CostModel
-from repro.harness.parallel import SimTask, run_configs, run_tasks
+from repro.exceptions import FaultError
+from repro.faults.schedule import random_link_faults, random_router_faults
+from repro.harness.parallel import SimTask, derive_task_seed, run_configs, run_tasks
 
 if TYPE_CHECKING:
     from repro.harness.cache import ResultCache
 from repro.metrics.curves import LatencyThroughputCurve
+from repro.metrics.resilience import (
+    ResiliencePoint,
+    degraded_saturation_rate,
+    resilience_point,
+)
 from repro.metrics.sweep import point_from_result
-from repro.routing.registry import create_routing
+from repro.routing.registry import available_algorithms, create_routing
 from repro.sim.config import SimulationConfig
 from repro.sim.engine import Simulator
 from repro.sim.results import SimulationResult
@@ -57,6 +64,7 @@ class Scale:
     hotspot_rates: tuple[float, ...] = (0.15, 0.3, 0.45, 0.6)
     vc_counts: tuple[int, ...] = (2, 4, 8, 16)
     trace_cycles: int = 1200
+    fault_counts: tuple[int, ...] = (0, 1, 2, 4, 8)
 
     def config(self, **overrides) -> SimulationConfig:
         base = dict(
@@ -81,6 +89,7 @@ SMOKE = Scale(
     hotspot_rates=(0.2, 0.5),
     vc_counts=(2, 4),
     trace_cycles=400,
+    fault_counts=(0, 2),
 )
 
 BENCH = Scale(name="bench")
@@ -94,6 +103,7 @@ PAPER = Scale(
     hotspot_rates=(0.1, 0.2, 0.3, 0.35, 0.4, 0.45, 0.5, 0.55, 0.6),
     vc_counts=(2, 4, 8, 16),
     trace_cycles=20000,
+    fault_counts=(0, 1, 2, 4, 8, 16),
 )
 
 _SCALES = {"smoke": SMOKE, "bench": BENCH, "paper": PAPER}
@@ -530,3 +540,104 @@ def cost_table(
 ) -> list[CostModel]:
     """Footprint storage cost for several (nodes, VCs) configurations."""
     return [CostModel(n, v) for n, v in configurations]
+
+
+# ----------------------------------------------------------------------
+# Fault sweep — resilience under broken links/routers
+# ----------------------------------------------------------------------
+@dataclass
+class FaultSweepEntry:
+    """One (algorithm, fault count) cell of the resilience sweep."""
+
+    routing: str
+    num_faults: int
+    fault_kind: str
+    #: Mean latency at the lowest swept rate on the faulted topology.
+    zero_load_latency: float
+    #: Highest swept rate that is not degraded (fault analogue of
+    #: saturation throughput; see repro.metrics.resilience).
+    degraded_saturation: float
+    #: Delivered fraction at the lowest swept rate — the structural
+    #: reachability loss the faults impose regardless of load.
+    delivered_fraction: float
+    points: list[ResiliencePoint] = field(default_factory=list)
+
+
+def fault_sweep(
+    scale: Scale,
+    algorithms: tuple[str, ...] | None = None,
+    pattern: str = "uniform",
+    fault_counts: tuple[int, ...] | None = None,
+    fault_kind: str = "link",
+    fault_cycle: int = 0,
+    seed: int = 1,
+    jobs: int | str | None = None,
+    cache: "ResultCache | None" = None,
+) -> list[FaultSweepEntry]:
+    """Resilience of every algorithm vs. the number of injected faults.
+
+    For each fault count ``k`` a single permanent fault schedule is drawn
+    (seeded from ``seed`` and ``k``) and shared by *all* algorithms, so
+    every algorithm faces the same broken topology — the comparison is of
+    routing adaptiveness, not of fault luck.  The full fault x algorithm
+    x rate grid is one flat task list through the parallel runner and the
+    result cache, like every other sweep driver.
+    """
+    if algorithms is None:
+        algorithms = tuple(available_algorithms())
+    counts = fault_counts if fault_counts is not None else scale.fault_counts
+    if fault_kind == "link":
+        generate = random_link_faults
+    elif fault_kind == "router":
+        generate = random_router_faults
+    else:
+        raise FaultError(
+            f"unknown fault kind {fault_kind!r}; expected 'link' or 'router'"
+        )
+    schedules = {
+        k: (
+            generate(
+                scale.width,
+                k=k,
+                cycle=fault_cycle,
+                seed=derive_task_seed(seed, f"faults/{fault_kind}/{k}"),
+            )
+            if k
+            else None
+        )
+        for k in counts
+    }
+    tasks = [
+        SimTask(
+            scale.config(
+                routing=algorithm,
+                traffic=pattern,
+                faults=schedules[k],
+                seed=seed,
+            ),
+            rate=rate,
+            key=(k, algorithm, rate),
+        )
+        for k in counts
+        for algorithm in algorithms
+        for rate in scale.rates
+    ]
+    results = iter(run_tasks(tasks, jobs, cache=cache))
+    entries = []
+    for k in counts:
+        for algorithm in algorithms:
+            points = [
+                resilience_point(next(results), rate) for rate in scale.rates
+            ]
+            entries.append(
+                FaultSweepEntry(
+                    routing=algorithm,
+                    num_faults=k,
+                    fault_kind=fault_kind,
+                    zero_load_latency=points[0].avg_latency,
+                    degraded_saturation=degraded_saturation_rate(points),
+                    delivered_fraction=points[0].delivered_fraction,
+                    points=points,
+                )
+            )
+    return entries

@@ -9,7 +9,12 @@ from __future__ import annotations
 
 import math
 
-from repro.harness.experiments import Fig2Result, Fig8Result, Fig10Entry
+from repro.harness.experiments import (
+    FaultSweepEntry,
+    Fig2Result,
+    Fig8Result,
+    Fig10Entry,
+)
 from repro.core.cost import CostModel
 from repro.metrics.curves import LatencyThroughputCurve, render_curves, render_table
 
@@ -129,6 +134,29 @@ def report_fig2(results: list[Fig2Result]) -> str:
     return render_table(
         "Fig. 2 — congestion-tree shape per routing algorithm",
         ["routing", "tree", "branches", "vcs", "max_thick", "mean_thick"],
+        rows,
+    )
+
+
+def report_fault_sweep(entries: list[FaultSweepEntry]) -> str:
+    def fmt(value: float, spec: str) -> str:
+        return "n/a" if math.isnan(value) else format(value, spec)
+
+    rows = [
+        [
+            e.routing,
+            str(e.num_faults),
+            e.fault_kind,
+            fmt(e.zero_load_latency, ".1f"),
+            fmt(e.degraded_saturation, ".3f"),
+            fmt(e.delivered_fraction, ".3f"),
+        ]
+        for e in entries
+    ]
+    return render_table(
+        "Fault sweep — degraded saturation and delivered fraction "
+        "vs. fault count",
+        ["routing", "faults", "kind", "zl_lat", "degr_sat", "delivered"],
         rows,
     )
 

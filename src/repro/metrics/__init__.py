@@ -3,6 +3,11 @@
 from repro.metrics.stats import LatencyStats
 from repro.metrics.sweep import SweepPoint, injection_sweep, saturation_throughput
 from repro.metrics.curves import LatencyThroughputCurve
+from repro.metrics.resilience import (
+    ResiliencePoint,
+    degraded_saturation_rate,
+    resilience_point,
+)
 
 __all__ = [
     "LatencyStats",
@@ -10,4 +15,7 @@ __all__ = [
     "injection_sweep",
     "saturation_throughput",
     "LatencyThroughputCurve",
+    "ResiliencePoint",
+    "degraded_saturation_rate",
+    "resilience_point",
 ]

@@ -1,0 +1,99 @@
+"""Resilience metrics for fault-laden runs.
+
+Under faults the sweep module's saturation criterion breaks down: a run
+with unreachable destinations never drains its measured packets, so
+``SweepPoint.is_saturated`` would call *every* faulted point saturated,
+even at loads the degraded network handles comfortably.  This module
+replaces "did it drain" with "did it deliver what the faulted topology
+can deliver":
+
+* :class:`ResiliencePoint` carries the delivered fraction next to the
+  usual latency/throughput numbers;
+* a point is *degraded* when its latency diverges (the usual 3x
+  zero-load criterion) **or** its delivered fraction falls below
+  :data:`DELIVERY_DEGRADATION_FACTOR` times the baseline delivery — the
+  fraction the same faulted network achieves at the lowest swept load,
+  which accounts for the packets the faults make undeliverable at any
+  rate;
+* :func:`degraded_saturation_rate` walks an ascending sweep and returns
+  the highest non-degraded rate, the fault analogue of saturation
+  throughput.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.metrics.sweep import SATURATION_LATENCY_FACTOR
+from repro.sim.results import SimulationResult
+
+#: A point's delivered fraction may fall to this multiple of the
+#: baseline (lowest-rate) delivery before it counts as degraded.
+DELIVERY_DEGRADATION_FACTOR = 0.9
+
+
+@dataclass(frozen=True)
+class ResiliencePoint:
+    """One point of a delivered-fraction / latency curve under faults."""
+
+    injection_rate: float
+    avg_latency: float
+    accepted_rate: float
+    delivered_fraction: float
+
+    def is_degraded(
+        self, zero_load_latency: float, baseline_delivery: float
+    ) -> bool:
+        """Whether this point has lost acceptable service.
+
+        ``zero_load_latency`` and ``baseline_delivery`` come from the
+        lowest-rate point of the same faulted sweep, so a fixed loss of
+        unreachable destinations does not count against higher rates.
+        """
+        if math.isnan(self.avg_latency):
+            return True
+        if (
+            not math.isnan(baseline_delivery)
+            and self.delivered_fraction
+            < DELIVERY_DEGRADATION_FACTOR * baseline_delivery
+        ):
+            return True
+        return (
+            self.avg_latency > SATURATION_LATENCY_FACTOR * zero_load_latency
+        )
+
+
+def resilience_point(
+    result: SimulationResult, rate: float
+) -> ResiliencePoint:
+    """Summarize a finished simulation as a resilience point."""
+    return ResiliencePoint(
+        injection_rate=rate,
+        avg_latency=result.avg_latency,
+        accepted_rate=result.accepted_rate,
+        delivered_fraction=result.delivered_fraction,
+    )
+
+
+def degraded_saturation_rate(points: Sequence[ResiliencePoint]) -> float:
+    """Highest non-degraded rate of an ascending resilience sweep.
+
+    The first point provides the zero-load latency and baseline delivery
+    references.  Returns 0.0 when even the first point is degraded (its
+    latency is NaN — nothing was delivered at all).
+    """
+    if not points:
+        return 0.0
+    baseline = points[0]
+    zero_load = baseline.avg_latency
+    baseline_delivery = baseline.delivered_fraction
+    if math.isnan(zero_load):
+        return 0.0
+    last_good = 0.0
+    for point in points:
+        if point.is_degraded(zero_load, baseline_delivery):
+            break
+        last_good = point.injection_rate
+    return last_good

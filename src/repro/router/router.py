@@ -160,6 +160,13 @@ class Router:
         self._vc_mask_all = (1 << config.num_vcs) - 1
         self.blocking = BlockingStats()
         self._sample_blocking = False
+        # Fault awareness: bitmask of output directions whose link (or
+        # downstream router) is currently dead, mirrored into the route
+        # context so algorithms can steer around it.  The epoch counter
+        # folds into the per-cycle state version so cached VC requests
+        # are invalidated whenever the mask changes.
+        self.fault_blocked = 0
+        self._fault_epoch = 0
 
     # ------------------------------------------------------------------
     # Engine-facing state changes
@@ -188,15 +195,43 @@ class Router:
         """Toggle the purity-of-blocking instrumentation."""
         self._sample_blocking = enabled
 
+    def set_fault_mask(self, mask: int) -> None:
+        """Update the set of dead output directions (engine fault hook).
+
+        Packets still choosing a route (ROUTING state) that had committed
+        to a now-dead port are released to re-route; packets already
+        granted a VC (ACTIVE) keep their path — wormhole streams are
+        never torn mid-packet, they simply stall until a heal.
+        """
+        if mask == self.fault_blocked:
+            return
+        self.fault_blocked = mask
+        self._fault_epoch += 1
+        self._ctx.dead_ports = mask
+        if mask:
+            for ivc in self._pending.values():
+                committed = ivc.committed_dir
+                if committed is not None and (mask >> committed) & 1:
+                    ivc.committed_dir = None
+
     # ------------------------------------------------------------------
     # Pipeline stages
     # ------------------------------------------------------------------
-    def link_traversal(self) -> list[tuple[Direction, int, Flit]]:
-        """Pop at most one flit per output port onto its link."""
+    def link_traversal(
+        self, blocked_mask: int = 0
+    ) -> list[tuple[Direction, int, Flit]]:
+        """Pop at most one flit per output port onto its link.
+
+        Output directions set in ``blocked_mask`` (dead links or dead
+        downstream routers) launch nothing; their staged flits wait in
+        the output FIFO until the fault heals.
+        """
         if self.inflight == 0:
             return []
         sent: list[tuple[Direction, int, Flit]] = []
         for direction, port in self.output_ports.items():
+            if blocked_mask and (blocked_mask >> direction) & 1:
+                continue
             popped = port.pop_link()
             if popped is not None:
                 flit, vc = popped
@@ -212,7 +247,9 @@ class Router:
         # Computed before the early-outs so freshly-freed-VC information
         # is always consumed by exactly one allocation round.
         ports_list = self._ports_list
-        state_version = 0
+        # Seeding with the fault epoch (also monotone) invalidates cached
+        # requests whenever the dead-port mask changes.
+        state_version = self._fault_epoch
         for port in ports_list:
             port.new_cycle()
             state_version += port.version
@@ -235,6 +272,13 @@ class Router:
                     # the port choice is a commitment (BookSim RC stage).
                     ivc.committed_dir = self.routing.select_output(ctx)
                 reqs = self.routing.vc_requests_at(ctx, ivc.committed_dir)
+                blocked = self.fault_blocked
+                if blocked:
+                    # No VC grants toward dead ports — covers escape
+                    # requests whose DOR port happens to be dead, too.
+                    reqs = [
+                        r for r in reqs if not (blocked >> r.direction) & 1
+                    ]
                 ivc.route_cache = reqs
                 ivc.route_cache_key = state_version
             if reqs:

@@ -102,6 +102,11 @@ class RouteContext:
         means unlimited (the paper's configuration).
     rng:
         Deterministic stream for tie-breaking.
+    dead_ports:
+        Bitmask of output directions whose link or downstream router is
+        currently faulted (bit ``d`` set ⟹ port ``d`` dead).  Zero in a
+        fault-free network.  Adaptive algorithms steer around dead ports
+        via :meth:`RoutingAlgorithm.live_candidates`.
     """
 
     mesh: Mesh2D
@@ -114,6 +119,7 @@ class RouteContext:
     congestion_threshold: int
     footprint_vc_limit: int | None
     rng: random.Random
+    dead_ports: int = 0
 
 
 class RoutingAlgorithm(abc.ABC):
@@ -170,6 +176,23 @@ class RoutingAlgorithm(abc.ABC):
     # ------------------------------------------------------------------
     # Shared helpers
     # ------------------------------------------------------------------
+    @staticmethod
+    def live_candidates(
+        ctx: RouteContext, candidates: list[Direction]
+    ) -> list[Direction]:
+        """Filter faulted output ports out of a candidate set.
+
+        Returns ``candidates`` unchanged when every candidate is dead
+        (or no fault is active): the packet then commits to a dead port
+        and simply waits — its VC requests are suppressed by the router
+        until the fault heals or a mask change triggers a re-route.
+        """
+        mask = ctx.dead_ports
+        if not mask:
+            return candidates
+        live = [d for d in candidates if not (mask >> d) & 1]
+        return live or candidates
+
     def eject_requests(self, ctx: RouteContext) -> list[VcRequest]:
         """Requests for delivery at the destination (LOCAL port).
 

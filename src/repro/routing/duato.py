@@ -37,6 +37,8 @@ class DuatoAdaptiveRouting(RoutingAlgorithm):
         if ctx.current == ctx.destination:
             return Direction.LOCAL
         candidates = ctx.mesh.minimal_directions(ctx.current, ctx.destination)
+        if ctx.dead_ports:
+            candidates = self.live_candidates(ctx, candidates)
         if len(candidates) == 1:
             return candidates[0]
         return self.select_port(ctx, candidates)

@@ -38,6 +38,8 @@ class OddEvenRouting(RoutingAlgorithm):
         candidates = self.allowed_directions(
             ctx.mesh, ctx.current, ctx.destination, ctx.source
         )
+        if ctx.dead_ports:
+            candidates = self.live_candidates(ctx, candidates)
         return self._select_port(ctx, candidates)
 
     def vc_requests_at(

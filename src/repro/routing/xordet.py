@@ -92,6 +92,8 @@ class XordetOverlay(RoutingAlgorithm):
             candidates = ctx.mesh.minimal_directions(
                 ctx.current, ctx.destination
             )
+            if ctx.dead_ports:
+                candidates = self.live_candidates(ctx, candidates)
             if len(candidates) == 1:
                 return candidates[0]
             return base.select_port(ctx, candidates)
@@ -99,6 +101,8 @@ class XordetOverlay(RoutingAlgorithm):
             candidates = base.allowed_directions(
                 ctx.mesh, ctx.current, ctx.destination, ctx.source
             )
+            if ctx.dead_ports:
+                candidates = self.live_candidates(ctx, candidates)
             return base._select_port(ctx, candidates)
         # DOR and any other single-path base algorithm.
         return ctx.mesh.dor_direction(ctx.current, ctx.destination)

@@ -79,6 +79,10 @@ class SimulationConfig:
     trace:
         Pre-generated trace (list of events) for ``traffic == "trace"``;
         see :mod:`repro.traffic.trace`.
+    faults:
+        Optional :class:`~repro.faults.schedule.FaultSchedule` of
+        deterministic link/router faults.  Part of the serialized config,
+        so fault-laden runs hash to distinct result-cache keys.
     """
 
     width: int = 8
@@ -103,6 +107,7 @@ class SimulationConfig:
     background_rate: float = 0.3
     trace: Any = None
     track_utilization: bool = False
+    faults: Any = None
 
     def __post_init__(self) -> None:
         if self.height is None:
@@ -148,6 +153,17 @@ class SimulationConfig:
         for name in ("warmup_cycles", "measure_cycles", "drain_cycles"):
             if getattr(self, name) < 0:
                 raise ConfigurationError(f"{name} must be >= 0")
+        if self.faults is not None:
+            # Imported lazily: the faults package imports topology only,
+            # but keeping config import-light is the house rule for trace.
+            from repro.faults.schedule import FaultSchedule
+
+            if not isinstance(self.faults, FaultSchedule):
+                raise ConfigurationError(
+                    f"faults must be a FaultSchedule or None, "
+                    f"got {type(self.faults).__name__}"
+                )
+            self.faults.validate_for(self.width, self.height)
 
     # ------------------------------------------------------------------
     @property
@@ -201,6 +217,11 @@ class SimulationConfig:
                 e if isinstance(e, TraceEvent) else TraceEvent(**e)
                 for e in data["trace"]
             ]
+        if data.get("faults") is not None:
+            from repro.faults.schedule import FaultSchedule
+
+            if not isinstance(data["faults"], FaultSchedule):
+                data["faults"] = FaultSchedule.from_dict(data["faults"])
         return cls(**data)
 
     def describe(self) -> str:
@@ -210,8 +231,12 @@ class SimulationConfig:
             if self.packet_size_range is None
             else f"{self.packet_size_range[0]}-{self.packet_size_range[1]}f"
         )
+        fault_note = (
+            f", {len(self.faults)} faults" if self.faults else ""
+        )
         return (
             f"{self.width}x{self.height} mesh, {self.num_vcs} VCs, "
             f"{self.routing} routing, {self.traffic} traffic "
             f"@ {self.injection_rate:.3f}, {size} packets, seed {self.seed}"
+            f"{fault_note}"
         )

@@ -47,11 +47,29 @@ exact cycle, and the lookahead machinery in
 :class:`~repro.traffic.patterns.LookaheadTraffic` consumes the RNG
 exactly as per-cycle generation would — results stay bit-identical to
 both other modes.
+
+Fault injection: when the configuration carries a non-empty
+:class:`~repro.faults.schedule.FaultSchedule`, the engine consults a
+:class:`~repro.faults.manager.FaultManager` each cycle.  The fault model
+is *freeze*, never *drop*: a dead router is skipped in every pipeline
+stage (its buffered flits sit frozen until a heal), packets generated at
+a dead endpoint are discarded at generation time (but still counted as
+offered/created, so ``delivered_fraction`` reflects the loss), and a
+dead link stops launching flits while credits crossing its severed
+reverse wire are *held* by the manager and re-delivered on heal —
+flow-control state is never corrupted.  Fault transition cycles clamp
+the idle-skip jump target, and the watchdog downgrades a no-progress
+stall into a graceful ``stalled`` stop (rather than a deadlock error)
+once no scheduled heal can revive progress, so unreachable destinations
+report a delivered fraction instead of aborting the run.  All three
+engine modes apply identical gating and remain bit-identical under
+faults.
 """
 
 from __future__ import annotations
 
 from repro.exceptions import SimulationError
+from repro.faults.manager import FaultManager
 from repro.metrics.stats import LatencyStats
 from repro.metrics.utilization import ChannelUtilization
 from repro.router.flit import Flit, Packet
@@ -74,7 +92,7 @@ DEADLOCK_WINDOW = 5000
 #: stage ordering, RNG consumption, allocation policy, ...).  The result
 #: cache (:mod:`repro.harness.cache`) folds this into every cache key, so
 #: stale on-disk entries invalidate themselves on upgrade.
-ENGINE_VERSION = 2
+ENGINE_VERSION = 3
 
 
 class Simulator:
@@ -123,6 +141,16 @@ class Simulator:
             if traffic is not None
             else create_traffic(config, self.mesh, self.rng.stream("traffic"))
         )
+
+        self.faults = (
+            FaultManager(config.faults, self.mesh)
+            if config.faults is not None and config.faults.events
+            else None
+        )
+        #: Set by the watchdog when a fault-laden run can make no further
+        #: progress (unreachable destinations) — :meth:`run` then stops
+        #: gracefully instead of raising a deadlock error.
+        self.stalled = False
 
         self.cycle = 0
         self._last_progress_cycle = 0
@@ -209,12 +237,35 @@ class Simulator:
         routers = self.routers
         link_dest = self._link_dest
 
-        # 1. Arrivals from the previous cycle's link traversals.
+        # 0. Apply due fault transitions.  Happens before the pipeline
+        # swap so credits released by a heal are delivered this cycle —
+        # the first cycle their wire is live again.
+        fm = self.faults
+        router_dead = None
+        if fm is not None:
+            if fm.pending_at(cycle):
+                changed, released = fm.advance_to(cycle)
+                for node in changed:
+                    routers[node].set_fault_mask(fm.blocked_out[node])
+                if released:
+                    self._credits_next.extend(released)
+            router_dead = fm.router_dead
+
+        # 1. Arrivals from the previous cycle's link traversals.  Flits
+        # always deliver (a dead router buffers them frozen); credits
+        # into a dead router or across a severed link are held.
         flits_now, self._flits_next = self._flits_next, []
         credits_now, self._credits_next = self._credits_next, []
         sink_now, self._sink_next = self._sink_next, []
-        for node, direction, vc in credits_now:
-            routers[node].receive_credit(direction, vc)
+        if fm is None:
+            for node, direction, vc in credits_now:
+                routers[node].receive_credit(direction, vc)
+        else:
+            for node, direction, vc in credits_now:
+                if fm.credit_blocked(node, direction):
+                    fm.hold_credit(node, direction, vc)
+                else:
+                    routers[node].receive_credit(direction, vc)
         for node, direction, vc, flit in flits_now:
             flit.hops += 1
             routers[node].receive_flit(direction, vc, flit)
@@ -236,21 +287,28 @@ class Simulator:
         for sink in self.sinks:
             if sink.occupancy == 0:
                 continue
+            if router_dead is not None and router_dead[sink.node]:
+                continue
             for vc in sink.drain(cycle):
                 credits_next.append((sink.node, Direction.LOCAL, vc))
                 progressed = True
                 self._flits_in_network -= 1
 
-        # 3. Link traversal.
+        # 3. Link traversal.  Dead routers launch nothing; live routers
+        # skip blocked output links (the flit stays staged).
         utilization = self.utilization
         if utilization is not None:
             utilization.cycles += 1
         local = Direction.LOCAL
+        blocked_out = fm.blocked_out if fm is not None else None
         for router in active:
             if not router.staged_flits:
                 continue
+            if router_dead is not None and router_dead[router.node]:
+                continue
             row = link_dest[router.node]
-            for direction, vc, flit in router.link_traversal():
+            blocked = blocked_out[router.node] if blocked_out is not None else 0
+            for direction, vc, flit in router.link_traversal(blocked):
                 progressed = True
                 if utilization is not None:
                     utilization.record(router.node, direction)
@@ -264,8 +322,11 @@ class Simulator:
         # routers even when empty: a returned credit may have released an
         # output VC, and the freshly-released set must be consumed and
         # cleared by exactly one allocation round.  For an empty router
-        # that round reduces to clearing the fresh sets.
+        # that round reduces to clearing the fresh sets.  Dead routers
+        # are frozen entirely; their state thaws unchanged at heal time.
         for router in active:
+            if router_dead is not None and router_dead[router.node]:
+                continue
             if router.inflight:
                 router.route_and_allocate()
             else:
@@ -275,6 +336,8 @@ class Simulator:
         # 5. Switch allocation/traversal; upstream credit returns.
         for router in active:
             if not router.inflight:
+                continue
+            if router_dead is not None and router_dead[router.node]:
                 continue
             row = link_dest[router.node]
             for in_direction, vc in router.switch_traversal():
@@ -286,17 +349,25 @@ class Simulator:
                 upstream, up_dir = row[in_direction]
                 credits_next.append((upstream, up_dir, vc))
 
-        # 6. Traffic generation and injection.
+        # 6. Traffic generation and injection.  Packets generated at a
+        # dead endpoint are dropped (still counted as offered/created so
+        # delivered_fraction sees them); dead sources do not inject.
         in_window = self._in_window(cycle)
         for packet in self.traffic.generate(cycle, in_window):
             if packet.measured:
                 self.measured_created += 1
             if in_window:
                 self.window_offered_flits += packet.size
+            if router_dead is not None and router_dead[packet.src]:
+                continue
             self.sources[packet.src].enqueue(packet)
             self._source_backlog += packet.size
         for source in self.sources:
-            if source.pending_flits and source.inject(cycle):
+            if not source.pending_flits:
+                continue
+            if router_dead is not None and router_dead[source.node]:
+                continue
+            if source.inject(cycle):
                 self._flits_in_network += 1
                 self._source_backlog -= 1
                 progressed = True
@@ -312,12 +383,27 @@ class Simulator:
         """
         cycle = self.cycle
 
+        # 0. Apply due fault transitions (same ordering as fast mode).
+        fm = self.faults
+        router_dead = None
+        if fm is not None:
+            if fm.pending_at(cycle):
+                changed, released = fm.advance_to(cycle)
+                for node in changed:
+                    self.routers[node].set_fault_mask(fm.blocked_out[node])
+                if released:
+                    self._credits_next.extend(released)
+            router_dead = fm.router_dead
+
         # 1. Arrivals from the previous cycle's link traversals.
         flits_now, self._flits_next = self._flits_next, []
         credits_now, self._credits_next = self._credits_next, []
         sink_now, self._sink_next = self._sink_next, []
         for node, direction, vc in credits_now:
-            self.routers[node].receive_credit(direction, vc)
+            if fm is not None and fm.credit_blocked(node, direction):
+                fm.hold_credit(node, direction, vc)
+            else:
+                self.routers[node].receive_credit(direction, vc)
         for node, direction, vc, flit in flits_now:
             flit.hops += 1
             self.routers[node].receive_flit(direction, vc, flit)
@@ -329,6 +415,8 @@ class Simulator:
         for sink in self.sinks:
             if sink.occupancy == 0:
                 continue
+            if router_dead is not None and router_dead[sink.node]:
+                continue
             for vc in sink.drain(cycle):
                 self._credits_next.append((sink.node, Direction.LOCAL, vc))
                 progressed = True
@@ -339,7 +427,10 @@ class Simulator:
         if utilization is not None:
             utilization.cycles += 1
         for router in self.routers:
-            for direction, vc, flit in router.link_traversal():
+            if router_dead is not None and router_dead[router.node]:
+                continue
+            blocked = fm.blocked_out[router.node] if fm is not None else 0
+            for direction, vc, flit in router.link_traversal(blocked):
                 progressed = True
                 if utilization is not None:
                     utilization.record(router.node, direction)
@@ -354,11 +445,15 @@ class Simulator:
 
         # 4. Route computation + VC allocation.
         for router in self.routers:
+            if router_dead is not None and router_dead[router.node]:
+                continue
             router.route_and_allocate()
             router.credit_pending = False
 
         # 5. Switch allocation/traversal; upstream credit returns.
         for router in self.routers:
+            if router_dead is not None and router_dead[router.node]:
+                continue
             for in_direction, vc in router.switch_traversal():
                 progressed = True
                 if in_direction is Direction.LOCAL:
@@ -378,12 +473,18 @@ class Simulator:
                 self.measured_created += 1
             if in_window:
                 self.window_offered_flits += packet.size
+            if router_dead is not None and router_dead[packet.src]:
+                continue
             self.sources[packet.src].enqueue(packet)
             self._source_backlog += packet.size
         for source in self.sources:
             # Same pending_flits guard as fast mode: the bit-identical
             # baseline shouldn't pay for provably-empty injection calls.
-            if source.pending_flits and source.inject(cycle):
+            if not source.pending_flits:
+                continue
+            if router_dead is not None and router_dead[source.node]:
+                continue
+            if source.inject(cycle):
                 self._flits_in_network += 1
                 self._source_backlog -= 1
                 progressed = True
@@ -398,6 +499,15 @@ class Simulator:
             self._flits_in_network > 0
             and cycle - self._last_progress_cycle > DEADLOCK_WINDOW
         ):
+            fm = self.faults
+            if fm is not None:
+                # Under faults a stall usually means unreachable
+                # destinations, not a protocol deadlock.  A scheduled
+                # heal may still revive progress; otherwise stop
+                # gracefully and report the delivered fraction.
+                if not fm.has_pending_transitions():
+                    self.stalled = True
+                return
             raise SimulationError(
                 f"no flit movement for {DEADLOCK_WINDOW} cycles at cycle "
                 f"{cycle} with {self._flits_in_network} flits in flight — "
@@ -439,6 +549,14 @@ class Simulator:
             boundary = limit
         event = self.traffic.next_event_cycle(cycle, boundary)
         target = boundary if event is None else min(event, boundary)
+        fm = self.faults
+        if fm is not None:
+            # Never jump over a fault activation/heal: the transition
+            # must be applied (and any held credits released) on its
+            # exact cycle to stay bit-identical with the other modes.
+            transition = fm.next_transition_cycle()
+            if transition is not None and transition < target:
+                target = transition
         skipped = target - cycle
         if skipped <= 0:
             return 0
@@ -477,6 +595,8 @@ class Simulator:
                 # Re-run the boundary checks at the new cycle.
                 continue
             self.step()
+            if self.stalled:
+                break
         if sampling:
             for router in self.routers:
                 router.enable_blocking_sampling(False)

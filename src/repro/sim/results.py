@@ -62,6 +62,19 @@ class SimulationResult:
         return self.measured_ejected == self.measured_created
 
     @property
+    def delivered_fraction(self) -> float:
+        """Fraction of measured packets delivered by run end.
+
+        The headline resilience metric for fault-laden runs: packets
+        destined to (or created at) dead endpoints, or stranded behind
+        dead links, are created but never ejected.  NaN when no packet
+        was measured.
+        """
+        if self.measured_created == 0:
+            return math.nan
+        return self.measured_ejected / self.measured_created
+
+    @property
     def avg_latency(self) -> float:
         return self.latency.mean
 

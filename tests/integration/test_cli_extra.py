@@ -59,19 +59,170 @@ def test_run_with_footprint_vc_limit(capsys):
     assert code == 0
 
 
-def test_invalid_algorithm_raises():
-    from repro.exceptions import RoutingError
+def test_invalid_algorithm_exits_cleanly(capsys):
+    """Validation problems exit 2 with one stderr line, not a traceback."""
+    code = cli_main(
+        [
+            "run",
+            "--routing", "bogus",
+            "--warmup", "1",
+            "--measure", "1",
+            "--drain", "1",
+        ]
+    )
+    assert code == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "bogus" in err
+    assert "Traceback" not in err
 
-    with pytest.raises(RoutingError):
+
+def test_invalid_pattern_exits_cleanly(capsys):
+    code = cli_main(
+        [
+            "run",
+            "--traffic", "nonesuch",
+            "--warmup", "1",
+            "--measure", "1",
+            "--drain", "1",
+        ]
+    )
+    assert code == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+
+
+def test_malformed_fault_spec_exits_cleanly(capsys):
+    code = cli_main(
+        [
+            "run",
+            "--width", "4",
+            "--vcs", "4",
+            "--faults", "link:notanode",
+            "--warmup", "1",
+            "--measure", "1",
+            "--drain", "1",
+        ]
+    )
+    assert code == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "fault" in err
+
+
+def test_invalid_jobs_rejected_by_argparse(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        cli_main(["experiment", "fig5", "--jobs", "zero"])
+    assert excinfo.value.code == 2
+    assert "--jobs" in capsys.readouterr().err
+
+
+def test_run_with_faults(capsys):
+    code = cli_main(
+        [
+            "run",
+            "--width", "4",
+            "--vcs", "4",
+            "--routing", "footprint",
+            "--faults", "link:1:east,router:10@50+200",
+            "--injection-rate", "0.05",
+            "--warmup", "30",
+            "--measure", "60",
+            "--drain", "500",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "faults        :" in out
+    assert "delivered frac:" in out
+    assert "2 faults" in out
+
+
+def test_experiment_fault_sweep_end_to_end(capsys, tmp_path):
+    code = cli_main(
+        [
+            "experiment", "fault-sweep",
+            "--scale", "smoke",
+            "--fault-counts", "0,1",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Fault sweep" in out
+    # All nine algorithms appear in the sweep table.
+    from repro.routing.registry import available_algorithms
+
+    for algorithm in available_algorithms():
+        assert algorithm in out
+    assert "cache" in out  # hit/miss summary printed via --cache-dir
+    # And the cache directory was actually populated.
+    assert list((tmp_path / "cache").glob("*.json"))
+
+
+def test_experiment_rejects_bad_fault_counts(capsys):
+    with pytest.raises(SystemExit) as excinfo:
         cli_main(
-            [
-                "run",
-                "--routing", "bogus",
-                "--warmup", "1",
-                "--measure", "1",
-                "--drain", "1",
-            ]
+            ["experiment", "fault-sweep", "--fault-counts", "0,two"]
         )
+    assert excinfo.value.code == 2
+    assert "--fault-counts" in capsys.readouterr().err
+
+
+def _fake_cache_entries(directory, count):
+    import os
+
+    directory.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for i in range(count):
+        path = directory / f"{i:064x}.json"
+        path.write_text("{}")
+        os.utime(path, (1000 + i, 1000 + i))
+        paths.append(path)
+    return paths
+
+
+def test_cache_stats(capsys, tmp_path):
+    directory = tmp_path / "cache"
+    _fake_cache_entries(directory, 3)
+    code = cli_main(["cache", "stats", "--cache-dir", str(directory)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert str(directory) in out
+    assert "3" in out
+
+
+def test_cache_clear(capsys, tmp_path):
+    directory = tmp_path / "cache"
+    _fake_cache_entries(directory, 4)
+    code = cli_main(["cache", "clear", "--cache-dir", str(directory)])
+    assert code == 0
+    assert "removed 4" in capsys.readouterr().out
+    assert not list(directory.glob("*.json"))
+
+
+def test_cache_prune_keeps_newest(capsys, tmp_path):
+    directory = tmp_path / "cache"
+    paths = _fake_cache_entries(directory, 5)
+    code = cli_main(
+        ["cache", "prune", "--cache-dir", str(directory), "--max-entries", "2"]
+    )
+    assert code == 0
+    assert "removed 3" in capsys.readouterr().out
+    survivors = sorted(directory.glob("*.json"))
+    assert survivors == sorted(paths[-2:])
+
+
+def test_cache_prune_rejects_negative(capsys, tmp_path):
+    code = cli_main(
+        [
+            "cache", "prune",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--max-entries", "-1",
+        ]
+    )
+    assert code == 2
+    assert "max-entries" in capsys.readouterr().err
 
 
 def test_rectangular_mesh(capsys):

@@ -9,9 +9,11 @@ individual latency samples.
 
 import pytest
 
+from repro.faults import FaultEvent, FaultSchedule, random_link_faults
 from repro.routing.registry import available_algorithms
 from repro.sim.config import SimulationConfig
 from repro.sim.engine import Simulator
+from repro.topology.ports import Direction
 from repro.traffic.trace import TraceEvent
 
 
@@ -107,6 +109,83 @@ def test_skip_matches_legacy_zero_load():
     overrides = {"injection_rate": 0.0}
     assert _signature(_run("skip", **overrides)) == _signature(
         _run("legacy", **overrides)
+    )
+
+
+# ----------------------------------------------------------------------
+# Fault-laden determinism: the fault gating runs inside the per-cycle
+# pipeline, so every fault case must preserve mode equivalence too.
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("routing", available_algorithms())
+def test_modes_agree_under_permanent_link_faults(routing):
+    overrides = {
+        "routing": routing,
+        "injection_rate": 0.05,
+        "faults": random_link_faults(4, k=2, seed=11),
+    }
+    legacy = _signature(_run("legacy", **overrides))
+    assert _signature(_run("fast", **overrides)) == legacy
+    assert _signature(_run("skip", **overrides)) == legacy
+
+
+def test_modes_agree_with_mid_run_fault():
+    """The fault activates after warmup, mid measurement window — the
+    skip engine must not jump over the transition cycle."""
+    overrides = {
+        "faults": FaultSchedule(
+            (FaultEvent(150, "link", 5, Direction.EAST),)
+        ),
+        "injection_rate": 0.05,
+    }
+    legacy = _signature(_run("legacy", **overrides))
+    assert _signature(_run("fast", **overrides)) == legacy
+    assert _signature(_run("skip", **overrides)) == legacy
+
+
+def test_modes_agree_with_transient_router_fault():
+    overrides = {
+        "faults": FaultSchedule(
+            (FaultEvent(100, "router", 10, duration=120),)
+        ),
+        "injection_rate": 0.05,
+    }
+    legacy = _signature(_run("legacy", **overrides))
+    assert _signature(_run("fast", **overrides)) == legacy
+    assert _signature(_run("skip", **overrides)) == legacy
+
+
+def test_modes_agree_on_held_credit_release():
+    """A transient link fault severs the reverse credit wire while flits
+    are crossing it; the held credits must be re-delivered on heal at the
+    same cycle in every mode.  The sparse trace leaves long quiescent
+    stretches so the skip engine actually jumps across the fault window."""
+    events = [
+        TraceEvent(5, 0, 3, size=4),
+        TraceEvent(6, 0, 3, size=4),
+        TraceEvent(700, 3, 0, size=2),
+    ]
+    overrides = {
+        "traffic": "trace",
+        "trace": events,
+        "injection_rate": 0.0,
+        "warmup_cycles": 0,
+        "measure_cycles": 1000,
+        "drain_cycles": 600,
+        "faults": FaultSchedule(
+            (FaultEvent(8, "link", 0, Direction.EAST, duration=400),)
+        ),
+    }
+    legacy = _signature(_run("legacy", **overrides))
+    assert _signature(_run("fast", **overrides)) == legacy
+    assert _signature(_run("skip", **overrides)) == legacy
+
+
+@pytest.mark.parametrize("mode", ["legacy", "fast", "skip"])
+def test_zero_fault_schedule_is_a_no_op(mode):
+    """An empty FaultSchedule must reproduce the unfaulted results
+    exactly (the engine skips the fault machinery entirely)."""
+    assert _signature(_run(mode, faults=FaultSchedule())) == _signature(
+        _run(mode)
     )
 
 

@@ -6,6 +6,7 @@ import random
 
 import pytest
 
+from repro.faults import FaultEvent, FaultSchedule
 from repro.harness.cache import (
     CACHE_ENV,
     DEFAULT_CACHE_DIR,
@@ -81,6 +82,7 @@ class TestCacheKey:
             "ejection_rate": 0.5,
             "congestion_threshold": 0.25,
             "track_utilization": True,
+            "faults": FaultSchedule((FaultEvent(0, "router", 5),)),
         }
         # Every SimulationConfig field must feed the hash: a stale field
         # here means a config knob was added without extending the test.
