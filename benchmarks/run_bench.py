@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Benchmark the simulation engine, the result cache, and the pool layer.
 
-Four measurements, written to ``BENCH_<timestamp>.json``:
+Five measurements, written to ``BENCH_<timestamp>.json``:
 
 * **engine** — single-simulation cycles/sec for a fixed config matrix,
   comparing three engine modes: ``skip`` (idle-cycle skipping on top of
@@ -32,6 +32,16 @@ Four measurements, written to ``BENCH_<timestamp>.json``:
   pool adds overhead and the speedup reports < 1; on an N-core machine
   expect close to min(N, tasks)x.
 
+* **telemetry** — the cost of observation.  Each config is timed with
+  telemetry off (no hub, the ``tel is None`` fast path), with sampling
+  on, and with full flit tracing on; simulated results must be
+  bit-identical in all three.  The matrix is also timed against the
+  last pre-telemetry commit in a git worktree, and the run **asserts**
+  that the disabled-probe overhead vs that tree stays under
+  ``TELEMETRY_OVERHEAD_BUDGET`` (2%) geomean.  The worktree comparison
+  is skipped (with a note) under ``--no-baseline`` or when git is
+  unavailable.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/run_bench.py           # full matrix
@@ -60,6 +70,7 @@ from repro.harness.parallel import SimTask, resolve_jobs, run_tasks
 from repro.metrics.sweep import point_from_result
 from repro.sim.config import SimulationConfig
 from repro.sim.engine import Simulator
+from repro.telemetry import TelemetryConfig
 
 #: (width, routing, injection rate) — zero-load points first (rates at or
 #: below ``ZERO_LOAD_RATE`` form the ``zero_load`` summary bucket; they
@@ -88,6 +99,26 @@ QUICK_PARALLEL_RATES = (0.05, 0.15)
 
 CACHE_RATES = (0.01, 0.02, 0.05, 0.1)
 QUICK_CACHE_RATES = (0.01, 0.05)
+
+#: Configs timed with telemetry off / sampling / tracing.  Loaded points
+#: dominate: that is where probes fire most and overhead shows first.
+TELEMETRY_MATRIX = (
+    (8, "footprint", 0.0002),
+    (8, "footprint", 0.02),
+    (8, "footprint", 0.05),
+    (8, "dor", 0.05),
+)
+QUICK_TELEMETRY_MATRIX = (
+    (8, "footprint", 0.02),
+)
+
+#: Last commit before the telemetry subsystem landed — the reference for
+#: what the disabled probes cost the hot path.
+PRE_TELEMETRY_REV = "12e9f12bc11bb6b54bfa938799d66ed5e37e618e"
+
+#: Maximum acceptable geomean slowdown of a telemetry-off run vs the
+#: pre-telemetry tree (fraction; 0.02 = 2%).
+TELEMETRY_OVERHEAD_BUDGET = 0.02
 
 
 def _bench_config(width: int, routing: str, rate: float, quick: bool):
@@ -430,6 +461,145 @@ def bench_parallel(quick: bool, jobs: int | str | None) -> dict:
     }
 
 
+def _geomean(values):
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def bench_telemetry(quick: bool, reps: int, no_baseline: bool) -> dict:
+    """Time telemetry off / sampling / tracing; bound the disabled cost.
+
+    The off/on comparison runs in-tree and asserts bit-identical
+    simulated results.  The disabled-probe overhead is then measured
+    against :data:`PRE_TELEMETRY_REV` in a git worktree (same machinery
+    as :func:`bench_baseline`) and must stay under
+    :data:`TELEMETRY_OVERHEAD_BUDGET` geomean.
+    """
+    matrix = QUICK_TELEMETRY_MATRIX if quick else TELEMETRY_MATRIX
+    sampling = TelemetryConfig(sample_every=100)
+    tracing = TelemetryConfig(sample_every=100, trace_flits=True)
+    entries = []
+    for width, routing, rate in matrix:
+        config = _bench_config(width, routing, rate, quick)
+        off_cps, off_sig = _time_mode(config, "skip", reps)
+        on_cps, on_sig = _time_mode(
+            config.with_(telemetry=sampling), "skip", reps
+        )
+        trace_cps, trace_sig = _time_mode(
+            config.with_(telemetry=tracing), "skip", reps
+        )
+        if not (off_sig == on_sig == trace_sig):
+            raise AssertionError(
+                f"telemetry changed simulated results for {width}x{width} "
+                f"{routing} @ {rate}"
+            )
+        entries.append(
+            {
+                "width": width,
+                "routing": routing,
+                "injection_rate": rate,
+                "off_cycles_per_sec": round(off_cps, 1),
+                "sampling_cycles_per_sec": round(on_cps, 1),
+                "tracing_cycles_per_sec": round(trace_cps, 1),
+                "sampling_cost": round(off_cps / on_cps - 1, 4),
+                "tracing_cost": round(off_cps / trace_cps - 1, 4),
+                "results_identical": True,
+            }
+        )
+        print(
+            f"  {width}x{width} {routing:10s} rate={rate:<7} "
+            f"off={off_cps:8.0f} sampling={on_cps:8.0f} "
+            f"tracing={trace_cps:8.0f} c/s"
+        )
+
+    out = {
+        "reps": reps,
+        "overhead_budget": TELEMETRY_OVERHEAD_BUDGET,
+        "matrix": entries,
+        "summary": {
+            "geomean_sampling_cost": round(
+                _geomean([1 + e["sampling_cost"] for e in entries]) - 1, 4
+            ),
+            "geomean_tracing_cost": round(
+                _geomean([1 + e["tracing_cost"] for e in entries]) - 1, 4
+            ),
+        },
+    }
+
+    if no_baseline:
+        print("  disabled-probe baseline skipped: --no-baseline")
+        out["baseline"] = {"skipped": "--no-baseline"}
+        return out
+    repo = Path(__file__).resolve().parent.parent
+    with tempfile.TemporaryDirectory(prefix="bench-telemetry-") as tmp:
+        tree = Path(tmp) / "tree"
+        try:
+            subprocess.run(
+                ["git", "worktree", "add", "--detach", str(tree),
+                 PRE_TELEMETRY_REV],
+                capture_output=True,
+                text=True,
+                cwd=repo,
+                check=True,
+                timeout=120,
+            )
+        except (subprocess.SubprocessError, OSError) as exc:
+            print(f"  disabled-probe baseline skipped: no worktree ({exc})")
+            out["baseline"] = {"skipped": str(exc)}
+            return out
+        try:
+            overheads = []
+            for entry in entries:
+                config = _bench_config(
+                    entry["width"],
+                    entry["routing"],
+                    entry["injection_rate"],
+                    quick,
+                )
+                try:
+                    child = _time_in_tree(tree, config, reps)
+                except (
+                    subprocess.SubprocessError,
+                    OSError,
+                    ValueError,
+                ) as exc:
+                    print(f"  disabled-probe baseline skipped: ({exc})")
+                    out["baseline"] = {"skipped": str(exc)}
+                    return out
+                overhead = child["cps"] / entry["off_cycles_per_sec"] - 1
+                entry["pre_telemetry_cycles_per_sec"] = round(child["cps"], 1)
+                entry["disabled_probe_overhead"] = round(overhead, 4)
+                overheads.append(overhead)
+                print(
+                    f"  {entry['width']}x{entry['width']} "
+                    f"{entry['routing']:10s} "
+                    f"rate={entry['injection_rate']:<7} "
+                    f"pre-telemetry={child['cps']:8.0f} c/s  "
+                    f"overhead={overhead:+.1%}"
+                )
+        finally:
+            subprocess.run(
+                ["git", "worktree", "remove", "--force", str(tree)],
+                capture_output=True,
+                cwd=repo,
+                timeout=120,
+            )
+    geomean_overhead = _geomean([1 + o for o in overheads]) - 1
+    out["baseline"] = {
+        "rev": PRE_TELEMETRY_REV,
+        "geomean_disabled_probe_overhead": round(geomean_overhead, 4),
+    }
+    print(
+        f"  disabled-probe overhead geomean {geomean_overhead:+.1%} "
+        f"(budget {TELEMETRY_OVERHEAD_BUDGET:.0%})"
+    )
+    if geomean_overhead >= TELEMETRY_OVERHEAD_BUDGET:
+        raise AssertionError(
+            f"disabled-probe overhead {geomean_overhead:.1%} exceeds the "
+            f"{TELEMETRY_OVERHEAD_BUDGET:.0%} budget vs {PRE_TELEMETRY_REV}"
+        )
+    return out
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -476,9 +646,11 @@ def main(argv: list[str] | None = None) -> int:
     cache = bench_cache(args.quick)
     print("parallel: serial vs process pool")
     parallel = bench_parallel(args.quick, args.jobs)
+    print("telemetry: off vs sampling vs tracing, disabled-probe overhead")
+    telemetry = bench_telemetry(args.quick, reps, args.no_baseline)
 
     payload = {
-        "schema": "footprint-noc-bench/2",
+        "schema": "footprint-noc-bench/3",
         "timestamp": time.strftime("%Y%m%dT%H%M%S"),
         "quick": args.quick,
         "python": sys.version.split()[0],
@@ -487,6 +659,7 @@ def main(argv: list[str] | None = None) -> int:
         "baseline": baseline,
         "cache": cache,
         "parallel": parallel,
+        "telemetry": telemetry,
     }
     out_dir = Path(args.output_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
@@ -506,6 +679,15 @@ def main(argv: list[str] | None = None) -> int:
             f"engine speedup vs seed tree: geomean "
             f"{bsum['geomean_speedup']}x, max {bsum['max_speedup']}x"
         )
+    tsum = telemetry["summary"]
+    line = (
+        f"telemetry cost: sampling {tsum['geomean_sampling_cost']:+.1%}, "
+        f"tracing {tsum['geomean_tracing_cost']:+.1%} geomean"
+    )
+    overhead = telemetry["baseline"].get("geomean_disabled_probe_overhead")
+    if overhead is not None:
+        line += f"; disabled probes {overhead:+.1%} vs pre-telemetry tree"
+    print(line)
     return 0
 
 

@@ -103,6 +103,55 @@ def _build_parser() -> argparse.ArgumentParser:
             "'link:5:east,routers:2~7@100+500'"
         ),
     )
+    run.add_argument(
+        "--telemetry",
+        action="store_true",
+        help=(
+            "collect time-series telemetry (occupancy, link utilization, "
+            "stalls, footprint counters) and print a summary; telemetry "
+            "observes the run without changing its results"
+        ),
+    )
+    run.add_argument(
+        "--sample-every",
+        type=int,
+        default=None,
+        metavar="CYCLES",
+        help=(
+            "telemetry sampling interval in cycles (default 100; 0 "
+            "disables sampling); implies --telemetry"
+        ),
+    )
+    run.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help=(
+            "record per-flit lifecycle events and write them to FILE — "
+            "'.jsonl' for JSON Lines, anything else for Chrome "
+            "trace_event JSON (open in Perfetto / chrome://tracing); "
+            "implies --telemetry"
+        ),
+    )
+    run.add_argument(
+        "--tree-node",
+        type=int,
+        action="append",
+        default=None,
+        metavar="NODE",
+        help=(
+            "sample the congestion tree of destination NODE each "
+            "telemetry sample (repeatable); implies --telemetry"
+        ),
+    )
+    run.add_argument(
+        "--progress",
+        action="store_true",
+        help=(
+            "echo cycle count and delivered packets to stderr while the "
+            "simulation runs (off by default)"
+        ),
+    )
 
     experiment = sub.add_parser(
         "experiment", help="regenerate one of the paper's figures/tables"
@@ -216,8 +265,49 @@ def _build_parser() -> argparse.ArgumentParser:
                 help="number of most-recent entries to keep",
             )
 
+    trace = sub.add_parser(
+        "trace", help="inspect recorded flit lifecycle traces"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    summarize = trace_sub.add_parser(
+        "summarize",
+        help="digest a trace file (JSONL or Chrome trace_event JSON)",
+    )
+    summarize.add_argument("file", help="trace file written by run --trace-out")
+
     sub.add_parser("list", help="list routing algorithms and traffic patterns")
     return parser
+
+
+#: Cycle interval of `run --progress` reports.
+PROGRESS_EVERY = 1000
+
+
+def _telemetry_from_args(args: argparse.Namespace):
+    """Build the run's TelemetryConfig from CLI flags (None when off)."""
+    tree_nodes = tuple(args.tree_node) if args.tree_node else ()
+    wants_telemetry = (
+        args.telemetry
+        or args.sample_every is not None
+        or args.trace_out is not None
+        or bool(tree_nodes)
+    )
+    if not (wants_telemetry or args.progress):
+        return None
+    from repro.telemetry.config import DEFAULT_SAMPLE_EVERY, TelemetryConfig
+
+    if args.sample_every is not None:
+        sample_every = args.sample_every
+    elif wants_telemetry:
+        sample_every = DEFAULT_SAMPLE_EVERY
+    else:
+        sample_every = 0  # --progress alone: no series, just the ticker
+    return TelemetryConfig(
+        sample_every=sample_every,
+        tree_nodes=tree_nodes,
+        trace_flits=args.trace_out is not None,
+        progress_every=PROGRESS_EVERY if args.progress else 0,
+    )
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -231,6 +321,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             args.height if args.height is not None else args.width,
             default_seed=args.seed,
         )
+    telemetry = _telemetry_from_args(args)
     config = SimulationConfig(
         width=args.width,
         height=args.height,
@@ -253,6 +344,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         footprint_vc_limit=args.footprint_vc_limit,
         seed=args.seed,
         faults=faults,
+        telemetry=telemetry,
     )
     result = run_simulation(config, verbose=False)
     print(f"configuration : {config.describe()}")
@@ -273,6 +365,29 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"delivered frac: {text}")
     if result.blocking.blocking_events:
         print(f"block purity  : {result.blocking.purity:.3f}")
+    if result.telemetry is not None:
+        print("telemetry:")
+        for line in result.telemetry.summary().splitlines():
+            print(f"  {line}")
+        if args.trace_out is not None:
+            from repro.telemetry.trace import write_trace
+
+            count = write_trace(result.telemetry, args.trace_out)
+            print(f"trace written : {args.trace_out} ({count} events)")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.telemetry.trace import summarize_trace
+
+    try:
+        print(summarize_trace(args.file))
+    except OSError as exc:
+        print(f"error: cannot read trace: {exc}", file=sys.stderr)
+        return 2
+    except (ValueError, KeyError) as exc:
+        print(f"error: not a recognized trace file: {exc!r}", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -436,6 +551,7 @@ def main(argv: list[str] | None = None) -> int:
         "run": _cmd_run,
         "experiment": _cmd_experiment,
         "cache": _cmd_cache,
+        "trace": _cmd_trace,
         "list": _cmd_list,
     }
     try:

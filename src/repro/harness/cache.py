@@ -46,17 +46,22 @@ def config_cache_key(config: SimulationConfig) -> str:
     Stable across processes and interpreter runs: the payload is
     canonical JSON (sorted keys, fixed separators) over the config's
     dict form plus the engine-version stamp.  Two configs differing in
-    any field hash differently; field ordering cannot matter because the
-    serializer sorts keys.
+    any field hash differently — except ``telemetry``, which is dropped
+    from the payload: telemetry observes a run without changing it (the
+    engine bit-identity tests assert this), so configs differing only in
+    telemetry address the same simulated result.  Field ordering cannot
+    matter because the serializer sorts keys.
     """
     # Imported lazily: the engine imports repro.sim.config, and the
     # harness modules keep engine imports out of module scope to avoid
     # the circular-import sweep (see repro.harness.parallel._run_task).
     from repro.sim.engine import ENGINE_VERSION
 
+    config_dict = config.to_dict()
+    config_dict.pop("telemetry", None)
     payload = {
         "engine_version": ENGINE_VERSION,
-        "config": config.to_dict(),
+        "config": config_dict,
     }
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
@@ -96,10 +101,20 @@ class ResultCache:
         return result
 
     def put(self, result: SimulationResult) -> None:
-        """Store ``result``, atomically replacing any existing entry."""
+        """Store ``result``, atomically replacing any existing entry.
+
+        Telemetry is stripped from the stored payload: the key ignores
+        the telemetry config, so an entry must be exactly the simulated
+        outcome any telemetry variant of the config would produce.
+        """
         key = config_cache_key(result.config)
         self.directory.mkdir(parents=True, exist_ok=True)
-        blob = json.dumps(result.to_dict(), separators=(",", ":"))
+        payload = result.to_dict()
+        payload["telemetry"] = None
+        # The stored config is normalized the same way the key is, so a
+        # hit never claims a telemetry setting it did not serve.
+        payload["config"]["telemetry"] = None
+        blob = json.dumps(payload, separators=(",", ":"))
         fd, tmp_name = tempfile.mkstemp(
             dir=self.directory, prefix=f".{key}.", suffix=".tmp"
         )

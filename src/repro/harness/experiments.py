@@ -27,7 +27,6 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.core.adaptiveness import qualitative_comparison
-from repro.core.congestion import CongestionTree, extract_congestion_tree
 from repro.core.cost import CostModel
 from repro.exceptions import FaultError
 from repro.faults.schedule import random_link_faults, random_router_faults
@@ -46,6 +45,7 @@ from repro.routing.registry import available_algorithms, create_routing
 from repro.sim.config import SimulationConfig
 from repro.sim.engine import Simulator
 from repro.sim.results import SimulationResult
+from repro.telemetry import TelemetryConfig, TelemetryResult
 from repro.topology.mesh import Mesh2D
 from repro.traffic.parsecgen import generate_parsec_trace, merge_traces
 
@@ -132,31 +132,82 @@ FIG5_PATTERNS = ("uniform", "transpose", "shuffle")
 # ----------------------------------------------------------------------
 # Fig. 2 — congestion-tree case study
 # ----------------------------------------------------------------------
+#: Fig. 2's network-congested destination (flow f1's target).
+FIG2_NETWORK_DST = 10
+
+#: Fig. 2's endpoint-congested destination (flows f3 and f4 converge).
+FIG2_ENDPOINT_DST = 13
+
+
+@dataclass(frozen=True)
+class TreeShape:
+    """Congestion-tree shape at one sampled instant.
+
+    The scalar view of a :class:`~repro.core.congestion.CongestionTree`
+    that the telemetry sampler records — attribute-compatible with the
+    full tree object (``num_branches`` / ``total_vcs`` /
+    ``max_thickness`` / ``mean_thickness``) so renderers accept either.
+    """
+
+    num_branches: int
+    total_vcs: int
+    max_thickness: int
+
+    @property
+    def mean_thickness(self) -> float:
+        if self.num_branches == 0:
+            return 0.0
+        return self.total_vcs / self.num_branches
+
+    @classmethod
+    def from_tree_series(
+        cls, series: dict[str, list[float]], index: int
+    ) -> "TreeShape":
+        """The shape at sample ``index`` of a telemetry tree series."""
+        return cls(
+            num_branches=int(series["branches"][index]),
+            total_vcs=int(series["vcs"][index]),
+            max_thickness=int(series["max_thickness"][index]),
+        )
+
+
 @dataclass
 class Fig2Result:
-    """Congestion trees of the Fig. 2 permutation under each algorithm."""
+    """Congestion trees of the Fig. 2 permutation under one algorithm.
+
+    ``network_tree``/``endpoint_tree`` are the end-of-run shapes (what
+    the paper's figure draws); the ``*_branch_series`` record how many
+    branches each tree had at every sampled cycle, so the report can
+    show the tree *forming*, not just its final extent.
+    """
 
     routing: str
-    network_tree: CongestionTree
-    endpoint_tree: CongestionTree
+    network_tree: TreeShape
+    endpoint_tree: TreeShape
+    sample_cycles: list[int] = field(default_factory=list)
+    network_branch_series: list[int] = field(default_factory=list)
+    endpoint_branch_series: list[int] = field(default_factory=list)
+    telemetry: TelemetryResult | None = None
 
 
 def fig2_congestion_tree(
-    routing: str, cycles: int = 400, seed: int = 3
+    routing: str, cycles: int = 400, seed: int = 3, sample_every: int = 50
 ) -> Fig2Result:
     """Reproduce the Fig. 2 case study: a 4x4 mesh, 4 VCs, four flows.
 
     Flows f1..f4 (``n0->n10, n1->n15, n4->n13, n12->n13``) create network
     congestion on link n1->n2 under DOR and endpoint congestion at n13.
-    The function runs the permutation at a rate that oversubscribes n13
-    and returns the congestion trees of the network-congested destination
-    (n10) and the endpoint-congested destination (n13).
+    The run oversubscribes n13 and observes both destinations through the
+    telemetry tree sampler (``tree_nodes=(10, 13)``), so the result
+    carries the congestion trees' growth over time; the final sample
+    lands on the last simulated cycle, making the end-of-run shapes
+    identical to a direct end-state extraction.
     """
-    from repro.traffic.trace import TraceEvent
     from repro.traffic.patterns import TrafficGenerator
     from repro.router.flit import Packet
 
-    flows = [(0, 10), (1, 15), (4, 13), (12, 13)]
+    flows = [(0, FIG2_NETWORK_DST), (1, 15), (4, FIG2_ENDPOINT_DST),
+             (12, FIG2_ENDPOINT_DST)]
 
     class _Fig2Traffic(TrafficGenerator):
         def generate(self, cycle: int, measured: bool):
@@ -187,14 +238,24 @@ def fig2_congestion_tree(
         measure_cycles=cycles,
         drain_cycles=0,
         seed=seed,
+        telemetry=TelemetryConfig(
+            sample_every=sample_every,
+            tree_nodes=(FIG2_NETWORK_DST, FIG2_ENDPOINT_DST),
+        ),
     )
     sim = Simulator(config, traffic=_Fig2Traffic())
-    for _ in range(cycles):
-        sim.step()
+    telemetry = sim.run().telemetry
+    assert telemetry is not None
+    network = telemetry.tree_series(FIG2_NETWORK_DST)
+    endpoint = telemetry.tree_series(FIG2_ENDPOINT_DST)
     return Fig2Result(
         routing=routing,
-        network_tree=extract_congestion_tree(sim, 10, include_local=False),
-        endpoint_tree=extract_congestion_tree(sim, 13, include_local=False),
+        network_tree=TreeShape.from_tree_series(network, -1),
+        endpoint_tree=TreeShape.from_tree_series(endpoint, -1),
+        sample_cycles=list(telemetry.sample_cycles),
+        network_branch_series=[int(v) for v in network["branches"]],
+        endpoint_branch_series=[int(v) for v in endpoint["branches"]],
+        telemetry=telemetry,
     )
 
 

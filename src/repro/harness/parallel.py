@@ -91,6 +91,12 @@ def resolve_jobs(jobs: int | str | None = None) -> int:
     return jobs
 
 
+def _wants_telemetry(config: SimulationConfig) -> bool:
+    """Whether a run of ``config`` must produce collected telemetry."""
+    telemetry = config.telemetry
+    return telemetry is not None and telemetry.active
+
+
 def _run_task(task: SimTask) -> SimulationResult:
     # Imported lazily: the engine pulls in repro.metrics, and importing it
     # at module level would recreate the circularity sweep.py avoids.
@@ -115,7 +121,11 @@ def run_tasks(
     consulted per task before simulating; only misses are executed (and
     stored back), so a warm cache completes the grid with zero
     simulations.  Cache hits are bit-exact round trips of the original
-    results, so the returned list is identical either way.
+    results, so the returned list is identical either way.  Tasks whose
+    config requests active telemetry always simulate: cached entries
+    carry no telemetry (it is stripped on store), so a hit could not
+    deliver the series the caller asked for — they still store their
+    (telemetry-stripped) outcome back for telemetry-free reuse.
     """
     task_list = list(tasks)
     if cache is None:
@@ -123,7 +133,10 @@ def run_tasks(
         pending = list(range(len(task_list)))
     else:
         results = [
-            cache.get(task.resolved_config()) for task in task_list
+            None
+            if _wants_telemetry(task.resolved_config())
+            else cache.get(task.resolved_config())
+            for task in task_list
         ]
         pending = [i for i, r in enumerate(results) if r is None]
     pending_tasks = [task_list[i] for i in pending]

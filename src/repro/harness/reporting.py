@@ -131,10 +131,37 @@ def report_fig2(results: list[Fig2Result]) -> str:
                     f"{tree.mean_thickness:.2f}",
                 ]
             )
-    return render_table(
+    table = render_table(
         "Fig. 2 — congestion-tree shape per routing algorithm",
         ["routing", "tree", "branches", "vcs", "max_thick", "mean_thick"],
         rows,
+    )
+    growth = [
+        [
+            r.routing,
+            label,
+            " ".join(str(b) for b in series),
+        ]
+        for r in results
+        if r.sample_cycles
+        for label, series in (
+            ("network(n10)", r.network_branch_series),
+            ("endpoint(n13)", r.endpoint_branch_series),
+        )
+    ]
+    if not growth:
+        return table
+    sampled = results[0].sample_cycles
+    return "\n\n".join(
+        [
+            table,
+            render_table(
+                "Fig. 2 — tree growth, branches per sampled cycle "
+                f"(cycles {sampled[0]}..{sampled[-1]})",
+                ["routing", "tree", "branches over time"],
+                growth,
+            ),
+        ]
     )
 
 

@@ -160,6 +160,10 @@ class Router:
         self._vc_mask_all = (1 << config.num_vcs) - 1
         self.blocking = BlockingStats()
         self._sample_blocking = False
+        # Telemetry probe sink (a TelemetryHub) or None.  Probe sites are
+        # guarded by one hoisted is-not-None check so a run without
+        # telemetry pays nothing beyond the attribute read.
+        self.probe = None
         # Fault awareness: bitmask of output directions whose link (or
         # downstream router) is currently dead, mirrored into the route
         # context so algorithms can steer around it.  The epoch counter
@@ -286,12 +290,24 @@ class Router:
 
         if requests:
             grants = allocate_vcs(requests, self.output_ports, self.rng)
+            probe = self.probe
             for grant in grants:
                 head = grant.input_vc.front()
                 assert head is not None
-                self.output_ports[grant.direction].allocate(
-                    grant.out_vc, head.dst
-                )
+                port = self.output_ports[grant.direction]
+                if probe is not None:
+                    # The owner register still holds the VC's previous
+                    # owner here (allocate() overwrites it): equality
+                    # with the new packet's destination is a footprint
+                    # hit — the reuse event Footprint engineers for.
+                    probe.vc_alloc(
+                        self.node,
+                        grant.direction,
+                        grant.out_vc,
+                        head,
+                        port.owner_dst[grant.out_vc] == head.dst,
+                    )
+                port.allocate(grant.out_vc, head.dst)
                 grant.input_vc.grant(grant.direction, grant.out_vc)
                 del self._pending[
                     (grant.input_vc.direction, grant.input_vc.index)
@@ -363,6 +379,8 @@ class Router:
         if self.buffered_input_flits == 0:
             return []
         occupied_masks = self._occupied_masks
+        probe = self.probe
+        tracing = probe is not None and probe.tracing
         for i in range(n_ports):
             direction = self._port_order[(self._sa_port_offset + i) % n_ports]
             if not occupied_masks[direction]:
@@ -379,6 +397,10 @@ class Router:
                 occupied_masks[direction] &= ~(1 << ivc.index)
             out_port.send(flit, out_vc)
             self.staged_flits += 1
+            if tracing:
+                probe.switch(
+                    self.node, direction, flit, out_port.direction, out_vc
+                )
             if ivc.state is VcState.ROUTING:
                 # The tail left and the next packet's head is already
                 # queued behind it.

@@ -83,6 +83,13 @@ class SimulationConfig:
         Optional :class:`~repro.faults.schedule.FaultSchedule` of
         deterministic link/router faults.  Part of the serialized config,
         so fault-laden runs hash to distinct result-cache keys.
+    telemetry:
+        Optional :class:`~repro.telemetry.config.TelemetryConfig`
+        selecting what the observability layer records (time-series
+        sampling, congestion-tree tracking, flit tracing, progress).
+        Serialized with the config so it reaches parallel workers, but
+        **excluded from result-cache keys**: telemetry observes the run
+        without changing it.
     """
 
     width: int = 8
@@ -108,6 +115,7 @@ class SimulationConfig:
     trace: Any = None
     track_utilization: bool = False
     faults: Any = None
+    telemetry: Any = None
 
     def __post_init__(self) -> None:
         if self.height is None:
@@ -164,6 +172,15 @@ class SimulationConfig:
                     f"got {type(self.faults).__name__}"
                 )
             self.faults.validate_for(self.width, self.height)
+        if self.telemetry is not None:
+            from repro.telemetry.config import TelemetryConfig
+
+            if not isinstance(self.telemetry, TelemetryConfig):
+                raise ConfigurationError(
+                    f"telemetry must be a TelemetryConfig or None, "
+                    f"got {type(self.telemetry).__name__}"
+                )
+            self.telemetry.validate_for(self.width, self.height)
 
     # ------------------------------------------------------------------
     @property
@@ -222,6 +239,13 @@ class SimulationConfig:
 
             if not isinstance(data["faults"], FaultSchedule):
                 data["faults"] = FaultSchedule.from_dict(data["faults"])
+        if data.get("telemetry") is not None:
+            from repro.telemetry.config import TelemetryConfig
+
+            if not isinstance(data["telemetry"], TelemetryConfig):
+                data["telemetry"] = TelemetryConfig.from_dict(
+                    data["telemetry"]
+                )
         return cls(**data)
 
     def describe(self) -> str:

@@ -54,17 +54,18 @@ class Source:
         transmission)."""
         return len(self.queue) + (1 if self._current_packet is not None else 0)
 
-    def inject(self, cycle: int) -> bool:
+    def inject(self, cycle: int) -> Flit | None:
         """Push at most one flit into the router's LOCAL input port.
 
-        Returns ``True`` if a flit was injected this cycle.
+        Returns the injected flit, or ``None`` if nothing could enter
+        this cycle (truthiness matches the old boolean contract).
         """
         if self._current_packet is None:
             if not self.queue:
-                return False
+                return None
             vc = self._pick_vc()
             if vc is None:
-                return False
+                return None
             packet = self.queue.popleft()
             packet.injection_time = cycle
             self._current_packet = packet
@@ -73,7 +74,7 @@ class Source:
         assert self._current_flits is not None and self._vc is not None
         ivc = self.router.input_vcs[Direction.LOCAL][self._vc]
         if not ivc.has_space:
-            return False
+            return None
         flit = self._current_flits.popleft()
         self.pending_flits -= 1
         self.router.receive_flit(Direction.LOCAL, self._vc, flit)
@@ -81,7 +82,7 @@ class Source:
             self._current_packet = None
             self._current_flits = None
             self._vc = None
-        return True
+        return flit
 
     def _pick_vc(self) -> int | None:
         """Round-robin over idle, empty LOCAL input VCs."""

@@ -79,6 +79,8 @@ from repro.sim.config import SimulationConfig
 from repro.sim.endpoints import Sink, Source
 from repro.sim.results import SimulationResult
 from repro.sim.rng import RngStreams
+from repro.telemetry.config import TelemetryConfig
+from repro.telemetry.hub import TelemetryHub
 from repro.topology.mesh import Mesh2D
 from repro.topology.ports import OPPOSITE, Direction
 from repro.traffic.factory import create_traffic
@@ -187,12 +189,26 @@ class Simulator:
         self._credits_next: list[tuple[int, Direction, int]] = []
         self._sink_next: list[tuple[int, int, Flit]] = []
 
-        # Statistics.
-        self.utilization: ChannelUtilization | None = (
-            ChannelUtilization(self.mesh, cycles=0)
-            if config.track_utilization
+        # Telemetry.  The hub exists when anything wants per-run
+        # observation: an active TelemetryConfig, or the legacy
+        # track_utilization flag (served by a hub with an inactive
+        # config, which degrades to pure link counting).  Router probes
+        # attach only for an active config, so utilization-only runs
+        # keep the pre-telemetry router hot path.
+        tcfg = config.telemetry
+        active_telemetry = tcfg is not None and tcfg.active
+        if tcfg is None and config.track_utilization:
+            tcfg = TelemetryConfig(sample_every=0)
+        self.telemetry: TelemetryHub | None = (
+            TelemetryHub(tcfg, self.mesh)
+            if active_telemetry or config.track_utilization
             else None
         )
+        if self.telemetry is not None and active_telemetry:
+            for router in self.routers:
+                router.probe = self.telemetry
+
+        # Statistics.
         self.latency = LatencyStats()
         self.latency_by_flow: dict[str, LatencyStats] = {}
         self.measured_created = 0
@@ -214,7 +230,16 @@ class Simulator:
     def _in_window(self, cycle: int) -> bool:
         return self._measure_start <= cycle < self._measure_end
 
+    @property
+    def utilization(self) -> ChannelUtilization | None:
+        """Per-channel flit counters (owned by the telemetry hub)."""
+        tel = self.telemetry
+        return tel.utilization if tel is not None else None
+
     def _on_packet_ejected(self, packet: Packet, cycle: int) -> None:
+        tel = self.telemetry
+        if tel is not None:
+            tel.packet_ejected(cycle, packet)
         if self._in_window(cycle):
             self.window_accepted_flits += packet.size
         if packet.measured:
@@ -296,9 +321,7 @@ class Simulator:
 
         # 3. Link traversal.  Dead routers launch nothing; live routers
         # skip blocked output links (the flit stays staged).
-        utilization = self.utilization
-        if utilization is not None:
-            utilization.cycles += 1
+        tel = self.telemetry
         local = Direction.LOCAL
         blocked_out = fm.blocked_out if fm is not None else None
         for router in active:
@@ -310,8 +333,8 @@ class Simulator:
             blocked = blocked_out[router.node] if blocked_out is not None else 0
             for direction, vc, flit in router.link_traversal(blocked):
                 progressed = True
-                if utilization is not None:
-                    utilization.record(router.node, direction)
+                if tel is not None:
+                    tel.link(router.node, direction, vc, flit)
                 if direction is local:
                     sink_next.append((router.node, vc, flit))
                 else:
@@ -358,6 +381,8 @@ class Simulator:
                 self.measured_created += 1
             if in_window:
                 self.window_offered_flits += packet.size
+            if tel is not None:
+                tel.packet_created(cycle, packet)
             if router_dead is not None and router_dead[packet.src]:
                 continue
             self.sources[packet.src].enqueue(packet)
@@ -367,12 +392,17 @@ class Simulator:
                 continue
             if router_dead is not None and router_dead[source.node]:
                 continue
-            if source.inject(cycle):
+            flit = source.inject(cycle)
+            if flit is not None:
                 self._flits_in_network += 1
                 self._source_backlog -= 1
                 progressed = True
+                if tel is not None:
+                    tel.inject(cycle, source.node, flit)
 
         self._watchdog(progressed, cycle)
+        if tel is not None:
+            tel.end_cycle(self, cycle)
         self.cycle += 1
 
     def _step_legacy(self) -> None:
@@ -423,17 +453,15 @@ class Simulator:
                 self._flits_in_network -= 1
 
         # 3. Link traversal.
-        utilization = self.utilization
-        if utilization is not None:
-            utilization.cycles += 1
+        tel = self.telemetry
         for router in self.routers:
             if router_dead is not None and router_dead[router.node]:
                 continue
             blocked = fm.blocked_out[router.node] if fm is not None else 0
             for direction, vc, flit in router.link_traversal(blocked):
                 progressed = True
-                if utilization is not None:
-                    utilization.record(router.node, direction)
+                if tel is not None:
+                    tel.link(router.node, direction, vc, flit)
                 if direction is Direction.LOCAL:
                     self._sink_next.append((router.node, vc, flit))
                 else:
@@ -473,6 +501,8 @@ class Simulator:
                 self.measured_created += 1
             if in_window:
                 self.window_offered_flits += packet.size
+            if tel is not None:
+                tel.packet_created(cycle, packet)
             if router_dead is not None and router_dead[packet.src]:
                 continue
             self.sources[packet.src].enqueue(packet)
@@ -484,12 +514,17 @@ class Simulator:
                 continue
             if router_dead is not None and router_dead[source.node]:
                 continue
-            if source.inject(cycle):
+            flit = source.inject(cycle)
+            if flit is not None:
                 self._flits_in_network += 1
                 self._source_backlog -= 1
                 progressed = True
+                if tel is not None:
+                    tel.inject(cycle, source.node, flit)
 
         self._watchdog(progressed, cycle)
+        if tel is not None:
+            tel.end_cycle(self, cycle)
         self.cycle += 1
 
     def _watchdog(self, progressed: bool, cycle: int) -> None:
@@ -560,9 +595,11 @@ class Simulator:
         skipped = target - cycle
         if skipped <= 0:
             return 0
-        if self.utilization is not None:
-            # Legacy counts every cycle toward utilization denominators.
-            self.utilization.cycles += skipped
+        if self.telemetry is not None:
+            # Counts the skipped cycles toward utilization denominators
+            # and synthesizes the (provably quiescent) samples that fall
+            # inside the jump, keeping series identical across modes.
+            self.telemetry.on_skip(self, cycle, target)
         self.cycle = target
         return skipped
 
@@ -606,6 +643,11 @@ class Simulator:
         blocking = BlockingStats()
         for router in self.routers:
             blocking.merge(router.blocking)
+        tel = self.telemetry
+        telemetry_result = None
+        if tel is not None:
+            tel.finish(self)
+            telemetry_result = tel.result()
         return SimulationResult(
             config=self.config,
             cycles_run=self.cycle,
@@ -616,6 +658,7 @@ class Simulator:
             measured_created=self.measured_created,
             measured_ejected=self.measured_ejected,
             blocking=blocking,
+            telemetry=telemetry_result,
         )
 
     # ------------------------------------------------------------------

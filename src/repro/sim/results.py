@@ -17,6 +17,17 @@ from repro.router.router import BlockingStats
 from repro.sim.config import SimulationConfig
 
 
+def _telemetry_from(data: Any) -> Any:
+    """Rebuild an optional TelemetryResult from serialized form."""
+    if data is None:
+        return None
+    from repro.telemetry.result import TelemetryResult
+
+    if isinstance(data, TelemetryResult):
+        return data
+    return TelemetryResult.from_dict(data)
+
+
 @dataclass
 class SimulationResult:
     """Aggregate outcome of one simulation run."""
@@ -38,6 +49,11 @@ class SimulationResult:
     blocking: BlockingStats
     #: Extra per-run annotations (experiment harness use).
     notes: dict[str, float] = field(default_factory=dict)
+    #: Collected telemetry (:class:`~repro.telemetry.result.
+    #: TelemetryResult`) when the run's config enabled it; ``None``
+    #: otherwise.  Stripped before the result enters the persistent
+    #: cache — cached entries are pure functions of the simulated state.
+    telemetry: Any = None
 
     # ------------------------------------------------------------------
     @property
@@ -109,6 +125,11 @@ class SimulationResult:
                 "footprint_vc_samples": self.blocking.footprint_vc_samples,
             },
             "notes": dict(self.notes),
+            "telemetry": (
+                self.telemetry.to_dict()
+                if self.telemetry is not None
+                else None
+            ),
         }
 
     @classmethod
@@ -134,6 +155,7 @@ class SimulationResult:
             measured_ejected=data["measured_ejected"],
             blocking=blocking,
             notes=dict(data["notes"]),
+            telemetry=_telemetry_from(data.get("telemetry")),
         )
 
     def summary(self) -> str:

@@ -1,0 +1,120 @@
+"""Telemetry configuration.
+
+:class:`TelemetryConfig` selects what the observability layer records
+during a run: the sampling interval for the time-series samplers, which
+destinations get congestion-tree sampling, whether per-flit lifecycle
+events are traced, and whether a progress line is echoed to stderr.
+
+The config rides on :class:`~repro.sim.config.SimulationConfig` (its
+``telemetry`` field) so it serializes with the rest of the run
+description and reaches parallel workers unchanged — but it is
+deliberately **excluded from result-cache keys**: telemetry observes a
+simulation without altering it, so two configs differing only in
+telemetry address the same cached result
+(:func:`repro.harness.cache.config_cache_key` drops the field, and the
+engine-mode bit-identity tests assert that results with and without
+telemetry match exactly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any
+
+from repro.exceptions import ConfigurationError
+
+#: Default sampling interval (cycles) when telemetry is enabled without
+#: an explicit interval.
+DEFAULT_SAMPLE_EVERY = 100
+
+#: Default cap on recorded flit-lifecycle events; keeps a runaway trace
+#: from exhausting memory (dropped events are counted, not silently lost).
+DEFAULT_TRACE_LIMIT = 200_000
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """What the telemetry layer records during one simulation.
+
+    Attributes
+    ----------
+    sample_every:
+        Sampling interval in cycles for the time-series samplers
+        (occupancy, link utilization, stalls, footprint counters,
+        congestion trees).  ``0`` disables sampling entirely.
+    tree_nodes:
+        Destination nodes whose congestion tree (branch count, total
+        VCs, max thickness) is measured at every sample.  Empty disables
+        tree sampling.
+    trace_flits:
+        Record per-flit lifecycle events (packet creation, injection, VC
+        allocation, switch traversal, link traversal, ejection) for
+        export as JSONL or Chrome ``trace_event`` JSON.
+    trace_limit:
+        Maximum number of recorded lifecycle events; once reached,
+        further events are counted as dropped instead of stored.
+    progress_every:
+        Echo a one-line progress report (cycle, delivered packets,
+        flits in flight) to stderr every this many cycles.  ``0``
+        disables progress output.
+    """
+
+    sample_every: int = DEFAULT_SAMPLE_EVERY
+    tree_nodes: tuple[int, ...] = ()
+    trace_flits: bool = False
+    trace_limit: int = DEFAULT_TRACE_LIMIT
+    progress_every: int = 0
+
+    def __post_init__(self) -> None:
+        # Tolerate lists (JSON round trips) without breaking frozen-ness.
+        if not isinstance(self.tree_nodes, tuple):
+            object.__setattr__(self, "tree_nodes", tuple(self.tree_nodes))
+        self.validate()
+
+    def validate(self) -> None:
+        if self.sample_every < 0:
+            raise ConfigurationError("sample_every must be >= 0")
+        if self.trace_limit < 0:
+            raise ConfigurationError("trace_limit must be >= 0")
+        if self.progress_every < 0:
+            raise ConfigurationError("progress_every must be >= 0")
+        for node in self.tree_nodes:
+            if not isinstance(node, int) or node < 0:
+                raise ConfigurationError(
+                    f"tree_nodes must be non-negative node ids, "
+                    f"got {node!r}"
+                )
+
+    def validate_for(self, width: int, height: int) -> None:
+        """Check mesh-dependent constraints (tree nodes exist)."""
+        num_nodes = width * height
+        for node in self.tree_nodes:
+            if node >= num_nodes:
+                raise ConfigurationError(
+                    f"tree node {node} outside {width}x{height} mesh"
+                )
+
+    @property
+    def active(self) -> bool:
+        """Whether this config records anything at all."""
+        return bool(
+            self.sample_every
+            or self.trace_flits
+            or self.progress_every
+            or self.tree_nodes
+        )
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable form; inverse of :meth:`from_dict`."""
+        data = asdict(self)
+        data["tree_nodes"] = list(self.tree_nodes)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "TelemetryConfig":
+        """Rebuild from :meth:`to_dict` output (or parsed JSON)."""
+        data = dict(data)
+        if data.get("tree_nodes") is not None:
+            data["tree_nodes"] = tuple(data["tree_nodes"])
+        return cls(**data)

@@ -1,0 +1,169 @@
+"""Collected telemetry of one simulation run.
+
+:class:`TelemetryResult` is the immutable-ish record the
+:class:`~repro.telemetry.hub.TelemetryHub` produces at the end of a run:
+the sampled time series (network occupancy, VC busy/stall counts, link
+utilization, Footprint counters, congestion-tree shape per tracked
+destination), the per-router occupancy vectors, cumulative counters, and
+— when flit tracing was enabled — the raw lifecycle events.
+
+It rides on :class:`~repro.sim.results.SimulationResult` (its
+``telemetry`` field), survives the pickle trip back from parallel
+workers, and round-trips through JSON via :meth:`to_dict` /
+:meth:`from_dict`.  Lifecycle events are stored as plain tuples::
+
+    ("gen",    cycle, packet_id, src, dst, size, flow)
+    ("inject", cycle, packet_id, flit_index, node)
+    ("va",     cycle, packet_id, node, out_dir, out_vc, fp_hit)
+    ("st",     cycle, packet_id, flit_index, node, in_dir, out_dir, out_vc)
+    ("lt",     cycle, packet_id, flit_index, node, direction, vc)
+    ("ej",     cycle, packet_id, node)
+
+Directions are stored as their integer :class:`~repro.topology.ports.
+Direction` values so events stay cheap to record and to serialize; the
+exporters in :mod:`repro.telemetry.trace` translate them to names.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any
+
+#: The lifecycle event kinds, in pipeline order.
+EVENT_KINDS = ("gen", "inject", "va", "st", "lt", "ej")
+
+
+@dataclass
+class TelemetryResult:
+    """Everything the telemetry layer recorded during one run."""
+
+    #: Sampling interval the series were collected at (0 = no sampling).
+    sample_every: int
+    #: Cycle of each sample; parallel to every series list.
+    sample_cycles: list[int] = field(default_factory=list)
+    #: Named scalar time series (one value per sample).
+    series: dict[str, list[float]] = field(default_factory=dict)
+    #: Per-sample vector of flits buffered inside each router.
+    router_occupancy: list[list[int]] = field(default_factory=list)
+    #: Cumulative counters over the whole run.
+    counters: dict[str, int] = field(default_factory=dict)
+    #: Flit lifecycle events (empty unless tracing was enabled).
+    events: list[tuple] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_samples(self) -> int:
+        return len(self.sample_cycles)
+
+    @property
+    def footprint_hit_rate(self) -> float:
+        """Fraction of VC allocations that reused a footprint VC.
+
+        A *footprint hit* is an allocation whose granted VC was last
+        owned by a packet to the same destination — the event Footprint
+        engineers for.  NaN when no allocation was observed.
+        """
+        allocs = self.counters.get("vc_allocs", 0)
+        if allocs == 0:
+            return math.nan
+        return self.counters.get("footprint_hits", 0) / allocs
+
+    def tree_series(self, node: int) -> dict[str, list[float]]:
+        """The congestion-tree series of ``node`` (may be empty)."""
+        prefix = f"tree/{node}/"
+        return {
+            name[len(prefix):]: values
+            for name, values in self.series.items()
+            if name.startswith(prefix)
+        }
+
+    def tree_nodes(self) -> list[int]:
+        """Destinations with congestion-tree series, ascending."""
+        nodes = {
+            int(name.split("/")[1])
+            for name in self.series
+            if name.startswith("tree/")
+        }
+        return sorted(nodes)
+
+    def series_max(self, name: str) -> float:
+        values = self.series.get(name)
+        return max(values) if values else math.nan
+
+    def series_mean(self, name: str) -> float:
+        values = self.series.get(name)
+        if not values:
+            return math.nan
+        return sum(values) / len(values)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable form; inverse of :meth:`from_dict`."""
+        return {
+            "sample_every": self.sample_every,
+            "sample_cycles": list(self.sample_cycles),
+            "series": {k: list(v) for k, v in self.series.items()},
+            "router_occupancy": [list(v) for v in self.router_occupancy],
+            "counters": dict(self.counters),
+            "events": [list(e) for e in self.events],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "TelemetryResult":
+        """Rebuild from :meth:`to_dict` output (or parsed JSON)."""
+        return cls(
+            sample_every=data["sample_every"],
+            sample_cycles=list(data["sample_cycles"]),
+            series={k: list(v) for k, v in data["series"].items()},
+            router_occupancy=[list(v) for v in data["router_occupancy"]],
+            counters=dict(data["counters"]),
+            events=[tuple(e) for e in data["events"]],
+        )
+
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        """Multi-line human-readable digest for the CLI."""
+        lines = [
+            f"samples       : {self.num_samples}"
+            + (f" (every {self.sample_every} cycles)" if self.sample_every else "")
+        ]
+        if self.sample_cycles:
+            lines.append(
+                "peak in-flight: "
+                f"{self.series_max('flits_in_network'):.0f} flits "
+                f"(mean {self.series_mean('flits_in_network'):.1f})"
+            )
+            lines.append(
+                "peak HoL wait : "
+                f"{self.series_max('hol_pending_vcs'):.0f} VCs, "
+                f"credit-stalled peak "
+                f"{self.series_max('credit_stalled_vcs'):.0f}"
+            )
+            lines.append(
+                "link util     : "
+                f"mean {self.series_mean('link_mean_util'):.3f}, "
+                f"window peak {self.series_max('link_max_util'):.3f}"
+            )
+        rate = self.footprint_hit_rate
+        if rate == rate:  # not NaN
+            lines.append(
+                f"footprint hits: {self.counters.get('footprint_hits', 0)}"
+                f"/{self.counters.get('vc_allocs', 0)} VC allocations "
+                f"({rate:.1%})"
+            )
+        for node in self.tree_nodes():
+            tree = self.tree_series(node)
+            branches = tree.get("branches", [])
+            if branches:
+                lines.append(
+                    f"tree @ n{node}  : peak {max(branches):.0f} branches "
+                    f"(mean {sum(branches) / len(branches):.2f}), "
+                    f"peak width {max(tree.get('vcs', [0])):.0f} VCs"
+                )
+        recorded = self.counters.get("events_recorded", 0)
+        dropped = self.counters.get("events_dropped", 0)
+        if recorded or dropped:
+            note = f", {dropped} dropped at the trace limit" if dropped else ""
+            lines.append(f"trace events  : {recorded}{note}")
+        return "\n".join(lines)

@@ -1,0 +1,333 @@
+"""Flit lifecycle trace export: JSONL and Chrome ``trace_event`` JSON.
+
+Two interchangeable on-disk forms of the events a
+:class:`~repro.telemetry.result.TelemetryResult` carries:
+
+* **JSONL** (``.jsonl``) — one self-describing JSON object per line,
+  direction fields spelled as names; the grep/jq-friendly form.
+* **Chrome trace** (``.json``) — the ``trace_event`` format understood by
+  Perfetto / ``chrome://tracing``.  Each packet becomes one async span
+  (``b``/``e``) from creation to ejection on the id of its packet, and
+  each VC-allocation / switch / link event becomes an instant event on
+  the thread-track of its router, so opening the file shows per-router
+  activity lanes with packet lifetimes overlaid.  Timestamps are the
+  simulated cycle (display unit: 1 µs = 1 cycle).
+
+:func:`summarize_trace` reads either form back (sniffing the format) and
+digests it for ``repro trace summarize``.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.telemetry.result import TelemetryResult
+from repro.topology.ports import Direction
+
+#: JSONL field layout per event kind (after the shared kind/cycle pair).
+_JSONL_FIELDS = {
+    "gen": ("packet", "src", "dst", "size", "flow"),
+    "inject": ("packet", "flit", "node"),
+    "va": ("packet", "node", "out_dir", "out_vc", "footprint_hit"),
+    "st": ("packet", "flit", "node", "in_dir", "out_dir", "out_vc"),
+    "lt": ("packet", "flit", "node", "dir", "vc"),
+    "ej": ("packet", "node"),
+}
+
+#: Event-tuple positions holding Direction ints, per kind.
+_DIRECTION_FIELDS = {"out_dir", "in_dir", "dir"}
+
+
+def event_to_record(event: tuple) -> dict[str, Any]:
+    """One event tuple as a self-describing JSONL record."""
+    kind = event[0]
+    record: dict[str, Any] = {"kind": kind, "cycle": event[1]}
+    for name, value in zip(_JSONL_FIELDS[kind], event[2:]):
+        if name in _DIRECTION_FIELDS:
+            value = Direction(value).name
+        elif name == "footprint_hit":
+            value = bool(value)
+        record[name] = value
+    return record
+
+
+def write_jsonl(telemetry: TelemetryResult, path: str | Path) -> int:
+    """Write the trace as JSON Lines; returns the event count."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as fh:
+        for event in telemetry.events:
+            fh.write(json.dumps(event_to_record(event)) + "\n")
+    return len(telemetry.events)
+
+
+# ----------------------------------------------------------------------
+# Chrome trace_event export
+# ----------------------------------------------------------------------
+def chrome_trace_events(telemetry: TelemetryResult) -> list[dict[str, Any]]:
+    """The trace as a list of Chrome ``trace_event`` dicts."""
+    out: list[dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": "footprint-noc"},
+        }
+    ]
+    for event in telemetry.events:
+        kind = event[0]
+        cycle = event[1]
+        pid = event[2]
+        if kind == "gen":
+            _, _, _, src, dst, size, flow = event
+            out.append(
+                {
+                    "name": f"pkt {pid}",
+                    "cat": "packet",
+                    "ph": "b",
+                    "id": pid,
+                    "pid": 0,
+                    "tid": src,
+                    "ts": cycle,
+                    "args": {
+                        "src": src,
+                        "dst": dst,
+                        "size": size,
+                        "flow": flow,
+                    },
+                }
+            )
+        elif kind == "ej":
+            _, _, _, node = event
+            out.append(
+                {
+                    "name": f"pkt {pid}",
+                    "cat": "packet",
+                    "ph": "e",
+                    "id": pid,
+                    "pid": 0,
+                    "tid": node,
+                    "ts": cycle,
+                }
+            )
+        elif kind == "inject":
+            _, _, _, flit, node = event
+            out.append(
+                {
+                    "name": "inject",
+                    "cat": "flit",
+                    "ph": "i",
+                    "s": "t",
+                    "pid": 0,
+                    "tid": node,
+                    "ts": cycle,
+                    "args": {"packet": pid, "flit": flit},
+                }
+            )
+        elif kind == "va":
+            _, _, _, node, out_dir, out_vc, fp_hit = event
+            out.append(
+                {
+                    "name": "va",
+                    "cat": "vc-alloc",
+                    "ph": "i",
+                    "s": "t",
+                    "pid": 0,
+                    "tid": node,
+                    "ts": cycle,
+                    "args": {
+                        "packet": pid,
+                        "out_dir": Direction(out_dir).name,
+                        "out_vc": out_vc,
+                        "footprint_hit": bool(fp_hit),
+                    },
+                }
+            )
+        elif kind == "st":
+            _, _, _, flit, node, in_dir, out_dir, out_vc = event
+            out.append(
+                {
+                    "name": "st",
+                    "cat": "flit",
+                    "ph": "i",
+                    "s": "t",
+                    "pid": 0,
+                    "tid": node,
+                    "ts": cycle,
+                    "args": {
+                        "packet": pid,
+                        "flit": flit,
+                        "in_dir": Direction(in_dir).name,
+                        "out_dir": Direction(out_dir).name,
+                        "out_vc": out_vc,
+                    },
+                }
+            )
+        elif kind == "lt":
+            _, _, _, flit, node, direction, vc = event
+            out.append(
+                {
+                    "name": "lt",
+                    "cat": "flit",
+                    "ph": "i",
+                    "s": "t",
+                    "pid": 0,
+                    "tid": node,
+                    "ts": cycle,
+                    "args": {
+                        "packet": pid,
+                        "flit": flit,
+                        "dir": Direction(direction).name,
+                        "vc": vc,
+                    },
+                }
+            )
+    return out
+
+
+def write_chrome_trace(telemetry: TelemetryResult, path: str | Path) -> int:
+    """Write the trace as Chrome ``trace_event`` JSON; returns the
+    ``trace_event`` count (excluding metadata)."""
+    path = Path(path)
+    events = chrome_trace_events(telemetry)
+    payload = {"traceEvents": events, "displayTimeUnit": "ms"}
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    return len(events) - 1
+
+
+def write_trace(telemetry: TelemetryResult, path: str | Path) -> int:
+    """Write the trace, picking the format from the file suffix.
+
+    ``.jsonl`` → JSON Lines; anything else → Chrome ``trace_event``.
+    """
+    path = Path(path)
+    if path.suffix == ".jsonl":
+        return write_jsonl(telemetry, path)
+    return write_chrome_trace(telemetry, path)
+
+
+# ----------------------------------------------------------------------
+# Readback + summary
+# ----------------------------------------------------------------------
+def load_trace_records(path: str | Path) -> list[dict[str, Any]]:
+    """Load either trace form back as a list of JSONL-style records.
+
+    Chrome traces are translated back to the JSONL vocabulary (packet
+    spans become ``gen``/``ej`` records) so downstream analysis handles
+    one shape.
+    """
+    path = Path(path)
+    text = path.read_text(encoding="utf-8")
+    stripped = text.lstrip()
+    if stripped.startswith("{") and '"traceEvents"' in stripped[:200]:
+        payload = json.loads(text)
+        return [
+            _chrome_to_record(ev)
+            for ev in payload["traceEvents"]
+            if ev.get("ph") != "M"
+        ]
+    records = []
+    for line in text.splitlines():
+        line = line.strip()
+        if line:
+            records.append(json.loads(line))
+    return records
+
+
+def _chrome_to_record(event: dict[str, Any]) -> dict[str, Any]:
+    args = event.get("args", {})
+    ph = event.get("ph")
+    if ph == "b":
+        return {
+            "kind": "gen",
+            "cycle": event["ts"],
+            "packet": event["id"],
+            **args,
+        }
+    if ph == "e":
+        return {
+            "kind": "ej",
+            "cycle": event["ts"],
+            "packet": event["id"],
+            "node": event["tid"],
+        }
+    return {
+        "kind": event["name"],
+        "cycle": event["ts"],
+        "node": event["tid"],
+        **args,
+    }
+
+
+def summarize_trace(path: str | Path) -> str:
+    """Human-readable digest of a trace file (either format)."""
+    records = load_trace_records(path)
+    if not records:
+        return f"{path}: empty trace"
+    kinds = Counter(r["kind"] for r in records)
+    cycles = [r["cycle"] for r in records]
+    lines = [
+        f"{path}: {len(records)} events over cycles "
+        f"{min(cycles)}..{max(cycles)}"
+    ]
+    lines.append(
+        "events by kind : "
+        + ", ".join(f"{kind}={kinds[kind]}" for kind in sorted(kinds))
+    )
+    born = {
+        r["packet"]: r["cycle"] for r in records if r["kind"] == "gen"
+    }
+    ejected = {
+        r["packet"]: r["cycle"] for r in records if r["kind"] == "ej"
+    }
+    done = set(born) & set(ejected)
+    if born:
+        lines.append(
+            f"packets        : {len(born)} created, "
+            f"{len(ejected)} ejected ({len(done)} complete lifetimes)"
+        )
+    if done:
+        latencies = sorted(ejected[p] - born[p] for p in done)
+        mean = sum(latencies) / len(latencies)
+        lines.append(
+            f"pkt lifetime   : mean {mean:.1f} cycles, "
+            f"min {latencies[0]}, max {latencies[-1]}"
+        )
+    hits = [
+        r
+        for r in records
+        if r["kind"] == "va" and "footprint_hit" in r
+    ]
+    if hits:
+        hit_count = sum(1 for r in hits if r["footprint_hit"])
+        lines.append(
+            f"footprint hits : {hit_count}/{len(hits)} VC allocations "
+            f"({hit_count / len(hits):.1%})"
+        )
+    traffic = Counter(
+        r["node"] for r in records if r["kind"] == "lt"
+    )
+    if traffic:
+        busiest = ", ".join(
+            f"n{node} ({count})" for node, count in traffic.most_common(3)
+        )
+        lines.append(f"busiest routers: {busiest} by link traversals")
+    return "\n".join(lines)
+
+
+def iter_packet_lifetimes(
+    records: Iterable[dict[str, Any]],
+) -> dict[int, tuple[int, int]]:
+    """Map packet id → (creation cycle, ejection cycle) for completed
+    packets in a record stream."""
+    born: dict[int, int] = {}
+    spans: dict[int, tuple[int, int]] = {}
+    for r in records:
+        if r["kind"] == "gen":
+            born[r["packet"]] = r["cycle"]
+        elif r["kind"] == "ej" and r["packet"] in born:
+            spans[r["packet"]] = (born[r["packet"]], r["cycle"])
+    return spans

@@ -28,7 +28,7 @@ def test_quick_bench_writes_report(run_bench, tmp_path):
     assert len(reports) == 1
     payload = json.loads(reports[0].read_text())
 
-    assert payload["schema"] == "footprint-noc-bench/2"
+    assert payload["schema"] == "footprint-noc-bench/3"
     assert payload["quick"] is True
 
     engine = payload["engine"]
@@ -53,3 +53,13 @@ def test_quick_bench_writes_report(run_bench, tmp_path):
     assert parallel["results_identical"] is True
     assert parallel["pool_results_identical"] is True
     assert parallel["tasks"] == len(run_bench.QUICK_PARALLEL_RATES)
+
+    telemetry = payload["telemetry"]
+    assert len(telemetry["matrix"]) == len(run_bench.QUICK_TELEMETRY_MATRIX)
+    for entry in telemetry["matrix"]:
+        assert entry["results_identical"] is True
+        assert entry["off_cycles_per_sec"] > 0
+        assert entry["sampling_cycles_per_sec"] > 0
+        assert entry["tracing_cycles_per_sec"] > 0
+    assert telemetry["overhead_budget"] == run_bench.TELEMETRY_OVERHEAD_BUDGET
+    assert telemetry["baseline"] == {"skipped": "--no-baseline"}

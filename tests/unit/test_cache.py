@@ -16,6 +16,7 @@ from repro.harness.cache import (
 )
 from repro.sim.config import SimulationConfig
 from repro.sim.engine import Simulator
+from repro.telemetry.config import TelemetryConfig
 from repro.traffic.trace import TraceEvent
 
 
@@ -84,13 +85,24 @@ class TestCacheKey:
             "track_utilization": True,
             "faults": FaultSchedule((FaultEvent(0, "router", 5),)),
         }
-        # Every SimulationConfig field must feed the hash: a stale field
-        # here means a config knob was added without extending the test.
-        covered = set(tweaks) | {"trace"}
+        # Every SimulationConfig field must feed the hash — except
+        # telemetry, which is observation-only and deliberately excluded
+        # (see test_telemetry_does_not_change_key).  A stale field here
+        # means a config knob was added without extending the test.
+        covered = set(tweaks) | {"trace", "telemetry"}
         assert covered == {f.name for f in dataclasses.fields(base)}
         for field, value in tweaks.items():
             changed = dataclasses.replace(base, **{field: value})
             assert config_cache_key(changed) != base_key, field
+
+    def test_telemetry_does_not_change_key(self):
+        base = _config()
+        with_telemetry = _config(
+            telemetry=TelemetryConfig(
+                sample_every=10, tree_nodes=(5,), trace_flits=True
+            )
+        )
+        assert config_cache_key(with_telemetry) == config_cache_key(base)
 
     def test_trace_events_feed_the_key(self):
         with_trace = _config(

@@ -1,0 +1,318 @@
+"""Unit tests for the telemetry layer: config, result, trace export."""
+
+import importlib.util
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.telemetry import TelemetryConfig, TelemetryResult
+from repro.telemetry.config import DEFAULT_SAMPLE_EVERY, DEFAULT_TRACE_LIMIT
+from repro.telemetry.result import EVENT_KINDS
+from repro.telemetry.trace import (
+    chrome_trace_events,
+    event_to_record,
+    iter_packet_lifetimes,
+    load_trace_records,
+    summarize_trace,
+    write_chrome_trace,
+    write_jsonl,
+    write_trace,
+)
+from repro.topology.ports import Direction
+
+_CHECK_TRACE = (
+    Path(__file__).resolve().parent.parent.parent
+    / "benchmarks"
+    / "check_trace.py"
+)
+
+
+class TestTelemetryConfig:
+    def test_defaults(self):
+        config = TelemetryConfig()
+        assert config.sample_every == DEFAULT_SAMPLE_EVERY
+        assert config.tree_nodes == ()
+        assert config.trace_flits is False
+        assert config.trace_limit == DEFAULT_TRACE_LIMIT
+        assert config.progress_every == 0
+        assert config.active  # sampling alone makes it active
+
+    def test_active_flags(self):
+        assert not TelemetryConfig(sample_every=0).active
+        assert TelemetryConfig(sample_every=0, trace_flits=True).active
+        assert TelemetryConfig(sample_every=0, progress_every=50).active
+        assert TelemetryConfig(sample_every=0, tree_nodes=(3,)).active
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"sample_every": -1},
+            {"trace_limit": -1},
+            {"progress_every": -5},
+            {"tree_nodes": (-2,)},
+            {"tree_nodes": ("n3",)},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            TelemetryConfig(**kwargs)
+
+    def test_validate_for_mesh_bounds(self):
+        config = TelemetryConfig(tree_nodes=(15,))
+        config.validate_for(4, 4)  # node 15 exists on a 4x4 mesh
+        with pytest.raises(ConfigurationError):
+            config.validate_for(4, 3)
+
+    def test_tree_nodes_list_coerced_to_tuple(self):
+        config = TelemetryConfig(tree_nodes=[5, 9])
+        assert config.tree_nodes == (5, 9)
+
+    def test_dict_round_trip(self):
+        config = TelemetryConfig(
+            sample_every=25,
+            tree_nodes=(1, 10),
+            trace_flits=True,
+            trace_limit=500,
+            progress_every=200,
+        )
+        data = config.to_dict()
+        assert data["tree_nodes"] == [1, 10]  # JSON-friendly
+        assert json.loads(json.dumps(data)) == data
+        assert TelemetryConfig.from_dict(data) == config
+
+
+def _sample_result() -> TelemetryResult:
+    return TelemetryResult(
+        sample_every=50,
+        sample_cycles=[49, 99, 149],
+        series={
+            "flits_in_network": [4.0, 10.0, 7.0],
+            "tree/5/branches": [1.0, 3.0, 2.0],
+            "tree/5/vcs": [1.0, 5.0, 3.0],
+            "tree/5/max_thickness": [1.0, 2.0, 2.0],
+            "tree/12/branches": [0.0, 1.0, 1.0],
+            "tree/12/vcs": [0.0, 1.0, 1.0],
+            "tree/12/max_thickness": [0.0, 1.0, 1.0],
+        },
+        router_occupancy=[[1, 0], [2, 3], [1, 1]],
+        counters={"vc_allocs": 8, "footprint_hits": 2, "events_recorded": 3},
+        events=[
+            ("gen", 0, 0, 1, 5, 2, "hotspot"),
+            ("va", 2, 0, 1, int(Direction.EAST), 0, 1),
+            ("ej", 9, 0, 5),
+        ],
+    )
+
+
+class TestTelemetryResult:
+    def test_num_samples_and_series_stats(self):
+        tel = _sample_result()
+        assert tel.num_samples == 3
+        assert tel.series_max("flits_in_network") == 10.0
+        assert tel.series_mean("flits_in_network") == pytest.approx(7.0)
+        assert math.isnan(tel.series_max("nope"))
+        assert math.isnan(tel.series_mean("nope"))
+
+    def test_tree_series_extraction(self):
+        tel = _sample_result()
+        assert tel.tree_nodes() == [5, 12]
+        tree = tel.tree_series(5)
+        assert tree["branches"] == [1.0, 3.0, 2.0]
+        assert tree["vcs"] == [1.0, 5.0, 3.0]
+        assert tree["max_thickness"] == [1.0, 2.0, 2.0]
+        assert tel.tree_series(99) == {}
+
+    def test_footprint_hit_rate(self):
+        tel = _sample_result()
+        assert tel.footprint_hit_rate == pytest.approx(0.25)
+        assert math.isnan(TelemetryResult(sample_every=0).footprint_hit_rate)
+
+    def test_dict_round_trip(self):
+        tel = _sample_result()
+        data = tel.to_dict()
+        assert json.loads(json.dumps(data)) == data
+        back = TelemetryResult.from_dict(data)
+        assert back.sample_cycles == tel.sample_cycles
+        assert back.series == tel.series
+        assert back.router_occupancy == tel.router_occupancy
+        assert back.counters == tel.counters
+        assert back.events == tel.events  # tuples restored
+
+    def test_summary_mentions_key_figures(self):
+        text = _sample_result().summary()
+        assert "samples       : 3 (every 50 cycles)" in text
+        assert "footprint hits: 2/8" in text
+        assert "tree @ n5" in text
+        assert "trace events  : 3" in text
+
+
+class TestEventRecords:
+    def test_direction_fields_become_names(self):
+        record = event_to_record(
+            ("va", 7, 3, 9, int(Direction.NORTH), 2, 0)
+        )
+        assert record == {
+            "kind": "va",
+            "cycle": 7,
+            "packet": 3,
+            "node": 9,
+            "out_dir": "NORTH",
+            "out_vc": 2,
+            "footprint_hit": False,
+        }
+
+    def test_every_kind_round_trips_through_jsonl(self, tmp_path):
+        events = [
+            ("gen", 0, 1, 0, 5, 3, "uniform"),
+            ("inject", 1, 1, 0, 0),
+            ("va", 2, 1, 0, int(Direction.EAST), 1, 1),
+            ("st", 3, 1, 0, 0, int(Direction.LOCAL), int(Direction.EAST), 1),
+            ("lt", 4, 1, 0, 0, int(Direction.EAST), 1),
+            ("ej", 8, 1, 5),
+        ]
+        assert [e[0] for e in events] == list(EVENT_KINDS)
+        tel = TelemetryResult(sample_every=0, events=events)
+        path = tmp_path / "trace.jsonl"
+        assert write_jsonl(tel, path) == len(events)
+        records = load_trace_records(path)
+        assert [r["kind"] for r in records] == list(EVENT_KINDS)
+        assert records[3]["in_dir"] == "LOCAL"
+        assert records[3]["out_dir"] == "EAST"
+        assert records[2]["footprint_hit"] is True
+
+    def test_chrome_trace_round_trip(self, tmp_path):
+        tel = TelemetryResult(
+            sample_every=0,
+            events=[
+                ("gen", 0, 4, 2, 7, 1, "transpose"),
+                ("va", 1, 4, 2, int(Direction.SOUTH), 0, 0),
+                ("ej", 6, 4, 7),
+            ],
+        )
+        path = tmp_path / "trace.json"
+        assert write_chrome_trace(tel, path) == 3
+        payload = json.loads(path.read_text())
+        assert payload["traceEvents"][0]["ph"] == "M"  # process metadata
+        records = load_trace_records(path)
+        assert [r["kind"] for r in records] == ["gen", "va", "ej"]
+        assert records[0]["src"] == 2 and records[0]["dst"] == 7
+        assert records[1]["out_dir"] == "SOUTH"
+        assert records[2]["node"] == 7
+
+    def test_write_trace_dispatches_on_suffix(self, tmp_path):
+        tel = TelemetryResult(
+            sample_every=0, events=[("gen", 0, 0, 0, 3, 1, "f")]
+        )
+        write_trace(tel, tmp_path / "t.jsonl")
+        write_trace(tel, tmp_path / "t.json")
+        assert (tmp_path / "t.jsonl").read_text().startswith('{"kind"')
+        assert '"traceEvents"' in (tmp_path / "t.json").read_text()
+
+    def test_summarize_trace(self, tmp_path):
+        tel = TelemetryResult(
+            sample_every=0,
+            events=[
+                ("gen", 0, 0, 0, 3, 1, "f"),
+                ("va", 1, 0, 0, int(Direction.EAST), 0, 1),
+                ("lt", 2, 0, 0, 0, int(Direction.EAST), 0),
+                ("ej", 10, 0, 3),
+            ],
+        )
+        path = tmp_path / "t.jsonl"
+        write_jsonl(tel, path)
+        text = summarize_trace(path)
+        assert "4 events over cycles 0..10" in text
+        assert "ej=1" in text and "gen=1" in text
+        assert "1 created, 1 ejected (1 complete lifetimes)" in text
+        assert "mean 10.0 cycles" in text
+        assert "footprint hits : 1/1" in text
+        assert "busiest routers" in text
+
+    def test_summarize_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert "empty trace" in summarize_trace(path)
+
+    def test_iter_packet_lifetimes(self):
+        records = [
+            {"kind": "gen", "cycle": 0, "packet": 1},
+            {"kind": "gen", "cycle": 2, "packet": 2},
+            {"kind": "ej", "cycle": 9, "packet": 1},
+            {"kind": "ej", "cycle": 5, "packet": 7},  # never born: ignored
+        ]
+        assert iter_packet_lifetimes(records) == {1: (0, 9)}
+
+
+@pytest.fixture(scope="module")
+def check_trace_mod():
+    spec = importlib.util.spec_from_file_location("check_trace", _CHECK_TRACE)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestCheckTrace:
+    def _write(self, tmp_path, records):
+        path = tmp_path / "t.jsonl"
+        path.write_text("".join(json.dumps(r) + "\n" for r in records))
+        return path
+
+    def test_valid_trace_passes(self, check_trace_mod, tmp_path):
+        tel = TelemetryResult(
+            sample_every=0,
+            events=[
+                ("gen", 0, 0, 0, 3, 1, "f"),
+                ("ej", 4, 0, 3),
+            ],
+        )
+        path = tmp_path / "t.jsonl"
+        write_jsonl(tel, path)
+        assert check_trace_mod.check_trace(path) == []
+        assert check_trace_mod.main([str(path)]) == 0
+
+    def test_flags_schema_violations(self, check_trace_mod, tmp_path):
+        path = self._write(
+            tmp_path,
+            [
+                {"kind": "warp", "cycle": 0},
+                {"kind": "ej", "cycle": -1, "packet": 0, "node": 1},
+                {"kind": "va", "cycle": 3, "packet": 0, "node": 1,
+                 "out_dir": "UP", "out_vc": 0, "footprint_hit": "yes"},
+                {"kind": "ej", "cycle": 1, "packet": 0},  # missing node
+            ],
+        )
+        errors = check_trace_mod.check_trace(path)
+        assert any("unknown kind" in e for e in errors)
+        assert any("bad cycle" in e for e in errors)
+        assert any("bad direction out_dir" in e for e in errors)
+        assert any("footprint_hit must be a bool" in e for e in errors)
+        assert any("missing field 'node'" in e for e in errors)
+        assert check_trace_mod.main([str(path)]) == 1
+
+    def test_flags_order_violations(self, check_trace_mod, tmp_path):
+        path = self._write(
+            tmp_path,
+            [
+                {"kind": "gen", "cycle": 5, "packet": 0, "src": 0,
+                 "dst": 1, "size": 1, "flow": "f"},
+                {"kind": "ej", "cycle": 2, "packet": 0, "node": 1},
+            ],
+        )
+        errors = check_trace_mod.check_trace(path)
+        assert any("precedes" in e for e in errors)
+        assert any("before its creation" in e for e in errors)
+
+    def test_min_events(self, check_trace_mod, tmp_path):
+        path = self._write(
+            tmp_path,
+            [{"kind": "ej", "cycle": 0, "packet": 0, "node": 1}],
+        )
+        assert check_trace_mod.check_trace(path, min_events=5)
+        assert check_trace_mod.main([str(path), "--min-events", "5"]) == 1
+
+    def test_unreadable_file(self, check_trace_mod, tmp_path):
+        missing = tmp_path / "nope.jsonl"
+        assert check_trace_mod.main([str(missing)]) == 2

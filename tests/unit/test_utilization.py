@@ -45,6 +45,80 @@ class TestAccounting:
         assert "--" in text  # east-edge nodes have no EAST channel
         assert "10" in text  # 1/10 cycles = 10%
 
+    def test_count_and_counts_adapter(self, util):
+        for _ in range(3):
+            util.record(5, Direction.NORTH)
+        assert util.count(5, Direction.NORTH) == 3
+        assert util.count(5, Direction.SOUTH) == 0
+        # The mapping adapter exposes only touched channels.
+        assert util.counts == {(5, Direction.NORTH): 3}
+
+    def test_seed_counts_round_trip(self):
+        seeded = ChannelUtilization(
+            Mesh2D(4), cycles=10, counts={(1, Direction.WEST): 7}
+        )
+        assert seeded.count(1, Direction.WEST) == 7
+        assert seeded.counts == {(1, Direction.WEST): 7}
+
+
+class TestBusiestOrdering:
+    def test_descending_by_utilization(self, util):
+        for node, reps in ((3, 2), (1, 9), (2, 5)):
+            for _ in range(reps):
+                util.record(node, Direction.EAST)
+        ranked = util.busiest(top=3)
+        assert [n for n, _, _ in ranked] == [1, 2, 3]
+        assert [u for _, _, u in ranked] == [0.9, 0.5, 0.2]
+
+    def test_ties_break_by_node_then_direction(self, util):
+        # Same count on three channels: ordering must be deterministic —
+        # ascending node, then ascending direction value.
+        util.record(2, Direction.NORTH)
+        util.record(2, Direction.EAST)
+        util.record(1, Direction.SOUTH)
+        ranked = util.busiest(top=3)
+        assert ranked == [
+            (1, Direction.SOUTH, 0.1),
+            (2, Direction.EAST, 0.1),
+            (2, Direction.NORTH, 0.1),
+        ]
+
+    def test_top_truncates(self, util):
+        for node in range(6):
+            util.record(node, Direction.LOCAL)
+        assert len(util.busiest(top=4)) == 4
+        assert len(util.busiest(top=50)) == 6
+
+
+class TestHeatmapRendering:
+    def test_grid_shape_and_values(self):
+        mesh = Mesh2D(4)
+        util = ChannelUtilization(mesh, cycles=4)
+        for _ in range(4):
+            util.record(0, Direction.EAST)  # 100%
+        for _ in range(2):
+            util.record(5, Direction.EAST)  # 50%
+        text = util.heatmap(Direction.EAST)
+        lines = text.splitlines()
+        assert lines[0] == "channel utilization heatmap (EAST)"
+        assert len(lines) == 1 + mesh.height
+        assert " 100" in lines[1]  # node 0 sits in the first row
+        assert "  50" in lines[2]  # node 5 in the second row
+        # The east edge column renders as -- in every row.
+        assert all("--" in line for line in lines[1:])
+
+    def test_local_direction_has_no_edges(self):
+        util = ChannelUtilization(Mesh2D(2), cycles=2)
+        util.record(3, Direction.LOCAL)
+        text = util.heatmap(Direction.LOCAL)
+        assert "--" not in text
+        assert "50" in text
+
+    def test_zero_cycles_renders_zeros(self):
+        util = ChannelUtilization(Mesh2D(2), cycles=0)
+        text = util.heatmap(Direction.EAST)
+        assert "   0" in text
+
 
 class TestEngineIntegration:
     def test_disabled_by_default(self):
