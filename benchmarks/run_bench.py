@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Benchmark the simulation engine, the result cache, and the pool layer.
 
-Five measurements, written to ``BENCH_<timestamp>.json``:
+Six measurements, written to ``BENCH_<timestamp>.json``:
 
 * **engine** — single-simulation cycles/sec for a fixed config matrix,
   comparing three engine modes: ``skip`` (idle-cycle skipping on top of
@@ -41,6 +41,14 @@ Five measurements, written to ``BENCH_<timestamp>.json``:
   ``TELEMETRY_OVERHEAD_BUDGET`` (2%) geomean.  The worktree comparison
   is skipped (with a note) under ``--no-baseline`` or when git is
   unavailable.
+
+* **validate** — the cost of runtime invariant checking.  Each config is
+  timed with validation off (the ``val is None`` fast path) and with
+  every checker of :mod:`repro.validate` on; simulated results must be
+  bit-identical in both.  The matrix is also timed against the last
+  pre-validation commit in a git worktree, and the run **asserts** that
+  the disabled-hook overhead vs that tree stays under
+  ``VALIDATE_OVERHEAD_BUDGET`` (2%) geomean.  Skipped notes as above.
 
 Usage::
 
@@ -119,6 +127,27 @@ PRE_TELEMETRY_REV = "12e9f12bc11bb6b54bfa938799d66ed5e37e618e"
 #: Maximum acceptable geomean slowdown of a telemetry-off run vs the
 #: pre-telemetry tree (fraction; 0.02 = 2%).
 TELEMETRY_OVERHEAD_BUDGET = 0.02
+
+#: Configs timed with invariant validation off vs all checkers on.  Same
+#: emphasis as the telemetry matrix: loaded points are where the checker
+#: hook sites fire most.
+VALIDATE_MATRIX = (
+    (8, "footprint", 0.0002),
+    (8, "footprint", 0.02),
+    (8, "footprint", 0.05),
+    (8, "dor", 0.05),
+)
+QUICK_VALIDATE_MATRIX = (
+    (8, "footprint", 0.02),
+)
+
+#: Last commit before the validation subsystem landed — the reference for
+#: what the disabled (``val is None``) checker hooks cost the hot path.
+PRE_VALIDATE_REV = "688b487f9e2cb899de3104a6c79f33870fbd6d55"
+
+#: Maximum acceptable geomean slowdown of a validation-off run vs the
+#: pre-validation tree (fraction; 0.02 = 2%).
+VALIDATE_OVERHEAD_BUDGET = 0.02
 
 
 def _bench_config(width: int, routing: str, rate: float, quick: bool):
@@ -600,6 +629,149 @@ def bench_telemetry(quick: bool, reps: int, no_baseline: bool) -> dict:
     return out
 
 
+def bench_validate(quick: bool, reps: int, no_baseline: bool) -> dict:
+    """Time invariant validation off vs all checkers on; bound the
+    disabled cost.
+
+    The off/on comparison runs in-tree and asserts bit-identical
+    simulated results (the checkers observe, never steer).  The disabled
+    hook overhead — the ``val is None`` attribute checks left in the hot
+    path — is then measured against :data:`PRE_VALIDATE_REV` in a git
+    worktree and must stay under :data:`VALIDATE_OVERHEAD_BUDGET`
+    geomean.
+    """
+    from repro.validate import ValidationConfig
+    from repro.validate.differential import result_signature
+
+    def time_validated(config, validation):
+        best = 0.0
+        signature = None
+        checks = 0
+        for _ in range(reps):
+            sim = Simulator(config, validation=validation)
+            t0 = time.perf_counter()
+            result = sim.run()
+            elapsed = time.perf_counter() - t0
+            best = max(best, result.cycles_run / elapsed)
+            signature = result_signature(result)
+            checks = sim.validator.checks_run if sim.validator else 0
+        return best, signature, checks
+
+    matrix = QUICK_VALIDATE_MATRIX if quick else VALIDATE_MATRIX
+    entries = []
+    for width, routing, rate in matrix:
+        config = _bench_config(width, routing, rate, quick)
+        off_cps, off_sig, _ = time_validated(config, None)
+        on_cps, on_sig, checks = time_validated(config, ValidationConfig())
+        if off_sig != on_sig:
+            raise AssertionError(
+                f"validation changed simulated results for {width}x{width} "
+                f"{routing} @ {rate}"
+            )
+        entries.append(
+            {
+                "width": width,
+                "routing": routing,
+                "injection_rate": rate,
+                "off_cycles_per_sec": round(off_cps, 1),
+                "checked_cycles_per_sec": round(on_cps, 1),
+                "checker_cost": round(off_cps / on_cps - 1, 4),
+                "checks_run": checks,
+                "results_identical": True,
+            }
+        )
+        print(
+            f"  {width}x{width} {routing:10s} rate={rate:<7} "
+            f"off={off_cps:8.0f} checked={on_cps:8.0f} c/s "
+            f"({checks} checks)"
+        )
+
+    out = {
+        "reps": reps,
+        "overhead_budget": VALIDATE_OVERHEAD_BUDGET,
+        "matrix": entries,
+        "summary": {
+            "geomean_checker_cost": round(
+                _geomean([1 + e["checker_cost"] for e in entries]) - 1, 4
+            ),
+        },
+    }
+
+    if no_baseline:
+        print("  disabled-hook baseline skipped: --no-baseline")
+        out["baseline"] = {"skipped": "--no-baseline"}
+        return out
+    repo = Path(__file__).resolve().parent.parent
+    with tempfile.TemporaryDirectory(prefix="bench-validate-") as tmp:
+        tree = Path(tmp) / "tree"
+        try:
+            subprocess.run(
+                ["git", "worktree", "add", "--detach", str(tree),
+                 PRE_VALIDATE_REV],
+                capture_output=True,
+                text=True,
+                cwd=repo,
+                check=True,
+                timeout=120,
+            )
+        except (subprocess.SubprocessError, OSError) as exc:
+            print(f"  disabled-hook baseline skipped: no worktree ({exc})")
+            out["baseline"] = {"skipped": str(exc)}
+            return out
+        try:
+            overheads = []
+            for entry in entries:
+                config = _bench_config(
+                    entry["width"],
+                    entry["routing"],
+                    entry["injection_rate"],
+                    quick,
+                )
+                try:
+                    child = _time_in_tree(tree, config, reps)
+                except (
+                    subprocess.SubprocessError,
+                    OSError,
+                    ValueError,
+                ) as exc:
+                    print(f"  disabled-hook baseline skipped: ({exc})")
+                    out["baseline"] = {"skipped": str(exc)}
+                    return out
+                overhead = child["cps"] / entry["off_cycles_per_sec"] - 1
+                entry["pre_validate_cycles_per_sec"] = round(child["cps"], 1)
+                entry["disabled_hook_overhead"] = round(overhead, 4)
+                overheads.append(overhead)
+                print(
+                    f"  {entry['width']}x{entry['width']} "
+                    f"{entry['routing']:10s} "
+                    f"rate={entry['injection_rate']:<7} "
+                    f"pre-validate={child['cps']:8.0f} c/s  "
+                    f"overhead={overhead:+.1%}"
+                )
+        finally:
+            subprocess.run(
+                ["git", "worktree", "remove", "--force", str(tree)],
+                capture_output=True,
+                cwd=repo,
+                timeout=120,
+            )
+    geomean_overhead = _geomean([1 + o for o in overheads]) - 1
+    out["baseline"] = {
+        "rev": PRE_VALIDATE_REV,
+        "geomean_disabled_hook_overhead": round(geomean_overhead, 4),
+    }
+    print(
+        f"  disabled-hook overhead geomean {geomean_overhead:+.1%} "
+        f"(budget {VALIDATE_OVERHEAD_BUDGET:.0%})"
+    )
+    if geomean_overhead >= VALIDATE_OVERHEAD_BUDGET:
+        raise AssertionError(
+            f"disabled-hook overhead {geomean_overhead:.1%} exceeds the "
+            f"{VALIDATE_OVERHEAD_BUDGET:.0%} budget vs {PRE_VALIDATE_REV}"
+        )
+    return out
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -648,9 +820,11 @@ def main(argv: list[str] | None = None) -> int:
     parallel = bench_parallel(args.quick, args.jobs)
     print("telemetry: off vs sampling vs tracing, disabled-probe overhead")
     telemetry = bench_telemetry(args.quick, reps, args.no_baseline)
+    print("validate: off vs all checkers on, disabled-hook overhead")
+    validate = bench_validate(args.quick, reps, args.no_baseline)
 
     payload = {
-        "schema": "footprint-noc-bench/3",
+        "schema": "footprint-noc-bench/4",
         "timestamp": time.strftime("%Y%m%dT%H%M%S"),
         "quick": args.quick,
         "python": sys.version.split()[0],
@@ -660,6 +834,7 @@ def main(argv: list[str] | None = None) -> int:
         "cache": cache,
         "parallel": parallel,
         "telemetry": telemetry,
+        "validate": validate,
     }
     out_dir = Path(args.output_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
@@ -687,6 +862,12 @@ def main(argv: list[str] | None = None) -> int:
     overhead = telemetry["baseline"].get("geomean_disabled_probe_overhead")
     if overhead is not None:
         line += f"; disabled probes {overhead:+.1%} vs pre-telemetry tree"
+    print(line)
+    vsum = validate["summary"]
+    line = f"validation cost: {vsum['geomean_checker_cost']:+.1%} geomean"
+    overhead = validate["baseline"].get("geomean_disabled_hook_overhead")
+    if overhead is not None:
+        line += f"; disabled hooks {overhead:+.1%} vs pre-validation tree"
     print(line)
     return 0
 

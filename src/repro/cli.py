@@ -11,6 +11,8 @@ simulation or a whole paper experiment::
     footprint-noc experiment table1
     footprint-noc run --faults 'link:5:east,router:10@200+500'
     footprint-noc cache stats
+    footprint-noc validate --runs 8 --seed 1
+    footprint-noc validate --self-test
     footprint-noc list
 
 Validation failures (unknown algorithm or pattern, malformed fault spec,
@@ -264,6 +266,47 @@ def _build_parser() -> argparse.ArgumentParser:
                 metavar="N",
                 help="number of most-recent entries to keep",
             )
+
+    validate = sub.add_parser(
+        "validate",
+        help=(
+            "run the runtime invariant checkers: randomized differential "
+            "sweep over all engine modes plus warm-cache replay, or the "
+            "mutation self-test proving each checker fires"
+        ),
+    )
+    validate.add_argument(
+        "--runs",
+        type=int,
+        default=8,
+        metavar="N",
+        help="number of randomized configurations to sweep (default 8)",
+    )
+    validate.add_argument("--seed", type=int, default=1)
+    validate.add_argument(
+        "--jobs",
+        default=None,
+        type=_jobs_arg,
+        metavar="N|auto",
+        help=(
+            "worker processes for the final pooled re-run (default: "
+            "REPRO_JOBS, else serial, which skips that phase)"
+        ),
+    )
+    validate.add_argument(
+        "--no-faults",
+        action="store_true",
+        help="draw only fault-free configurations",
+    )
+    validate.add_argument(
+        "--self-test",
+        action="store_true",
+        help=(
+            "instead of the differential sweep, corrupt one piece of "
+            "simulator state per checker (seeded mutations) and verify "
+            "every checker catches its corruption"
+        ),
+    )
 
     trace = sub.add_parser(
         "trace", help="inspect recorded flit lifecycle traces"
@@ -533,6 +576,67 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.validate.differential import (
+        ENGINE_MODES,
+        random_configs,
+        run_differential,
+        self_test,
+    )
+
+    if args.self_test:
+        outcomes = self_test(seed=args.seed)
+        failures = 0
+        for outcome in outcomes:
+            status = "FIRED" if outcome.ok else "MISSED"
+            print(
+                f"mutation {outcome.mutation:<10s} -> checker "
+                f"{outcome.expected_checker:<20s} {status}"
+            )
+            if not outcome.ok:
+                failures += 1
+                print(f"  {outcome.detail}")
+        print(
+            f"self-test: {len(outcomes) - failures}/{len(outcomes)} "
+            f"mutations caught"
+        )
+        return 0 if failures == 0 else 1
+
+    if args.runs < 1:
+        print("error: --runs must be >= 1", file=sys.stderr)
+        return 2
+    configs = random_configs(
+        args.runs, args.seed, include_faults=not args.no_faults
+    )
+    report = run_differential(configs, jobs=args.jobs)
+    failures = 0
+    for entry in report.entries:
+        if entry.ok:
+            print(f"ok   {entry.description}  [{entry.checks_run} checks]")
+        else:
+            failures += 1
+            print(f"FAIL {entry.description}")
+            if entry.error is not None:
+                print(f"  {entry.error}")
+            elif not entry.modes_identical:
+                print(f"  engine modes disagree: {sorted(ENGINE_MODES)}")
+            elif entry.warm_misses != 0:
+                print(f"  warm cache replay missed {entry.warm_misses}x")
+            else:
+                print("  cache replay signature mismatch")
+    if report.pool_identical is not None:
+        status = "identical" if report.pool_identical else "DIVERGED"
+        print(f"pooled re-run: {status}")
+        if not report.pool_identical:
+            failures += 1
+    print(
+        f"validate: {len(report.entries) - failures}/{len(report.entries)} "
+        f"configurations clean (modes {'/'.join(ENGINE_MODES)} + "
+        f"warm-cache replay, all checkers on)"
+    )
+    return 0 if report.ok else 1
+
+
 def _cmd_list(_args: argparse.Namespace) -> int:
     print("routing algorithms:")
     for name in available_algorithms():
@@ -552,6 +656,7 @@ def main(argv: list[str] | None = None) -> int:
         "experiment": _cmd_experiment,
         "cache": _cmd_cache,
         "trace": _cmd_trace,
+        "validate": _cmd_validate,
         "list": _cmd_list,
     }
     try:

@@ -41,3 +41,40 @@ class FaultError(ReproError):
 
 class SimulationError(ReproError):
     """The simulation engine reached an inconsistent state."""
+
+
+class InvariantViolation(SimulationError):
+    """A runtime invariant checker caught an illegal simulator state.
+
+    Raised by :mod:`repro.validate` with enough context to localize the
+    failure: the checker name, the cycle, and (when applicable) the
+    router node, port direction, and VC index involved.
+    """
+
+    def __init__(
+        self,
+        checker: str,
+        message: str,
+        *,
+        cycle: int | None = None,
+        node: int | None = None,
+        direction: object = None,
+        vc: int | None = None,
+    ) -> None:
+        self.checker = checker
+        self.cycle = cycle
+        self.node = node
+        self.direction = direction
+        self.vc = vc
+        context = []
+        if cycle is not None:
+            context.append(f"cycle {cycle}")
+        if node is not None:
+            context.append(f"node {node}")
+        if direction is not None:
+            name = getattr(direction, "name", None)
+            context.append(f"port {name if name is not None else direction}")
+        if vc is not None:
+            context.append(f"vc {vc}")
+        suffix = f" [{', '.join(context)}]" if context else ""
+        super().__init__(f"{checker}: {message}{suffix}")

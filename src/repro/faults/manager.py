@@ -175,6 +175,32 @@ class FaultManager:
     def held_credits(self) -> int:
         return len(self._held)
 
+    # ------------------------------------------------------------------
+    # Validation hooks (repro.validate)
+    # ------------------------------------------------------------------
+    def held_snapshot(self) -> list[tuple[int, Direction, int]]:
+        """Copy of the held credits, keyed like ``credit_blocked``:
+        (receiving node, its output direction, VC)."""
+        return list(self._held)
+
+    def mask_violation(self) -> str | None:
+        """First node whose cached masks disagree with a recount, or
+        ``None``."""
+        for node in range(self.mesh.num_nodes):
+            if self.router_dead[node] != (self._router_count[node] > 0):
+                return (
+                    f"node {node} death flag disagrees with its fault "
+                    f"reference count {self._router_count[node]}"
+                )
+            expected = self._compute_mask(node)
+            if self.blocked_out[node] != expected:
+                return (
+                    f"node {node} blocked-port mask "
+                    f"{self.blocked_out[node]:#x} != recomputed "
+                    f"{expected:#x}"
+                )
+        return None
+
     def describe(self) -> str:
         dead_routers = [n for n, dead in enumerate(self.router_dead) if dead]
         dead_links = sorted(

@@ -101,8 +101,14 @@ def _run_task(task: SimTask) -> SimulationResult:
     # Imported lazily: the engine pulls in repro.metrics, and importing it
     # at module level would recreate the circularity sweep.py avoids.
     from repro.sim.engine import Simulator
+    from repro.validate.config import validation_from_env
 
-    return Simulator(task.resolved_config()).run()
+    # $REPRO_VALIDATE propagates to pool workers through the environment,
+    # so validated grids need no per-task plumbing.  Note cache hits skip
+    # this path entirely: only simulated misses are checked.
+    return Simulator(
+        task.resolved_config(), validation=validation_from_env()
+    ).run()
 
 
 def run_tasks(

@@ -34,11 +34,25 @@ class LatencyThroughputCurve:
         return max(p.injection_rate for p in stable)
 
 
+#: Decimal places used to group injection rates into table rows.  Rates
+#: refined by bisection can differ from grid rates in the last ulp;
+#: exact float comparison would scatter them into separate all-dash rows.
+RATE_DECIMALS = 9
+
+
+def _rate_key(rate: float) -> float:
+    return round(rate, RATE_DECIMALS)
+
+
 def render_curves(
     title: str, curves: list[LatencyThroughputCurve]
 ) -> str:
-    """Render curves as an aligned table: one row per injection rate."""
-    rates = sorted({p.injection_rate for c in curves for p in c.points})
+    """Render curves as an aligned table: one row per injection rate.
+
+    Rates are grouped after rounding to :data:`RATE_DECIMALS` places, so
+    points that differ only by float noise share a row.
+    """
+    rates = sorted({_rate_key(p.injection_rate) for c in curves for p in c.points})
     header = ["inj_rate"] + [c.label for c in curves]
     widths = [max(10, len(h) + 2) for h in header]
     lines = [title, "".join(h.rjust(w) for h, w in zip(header, widths))]
@@ -46,7 +60,12 @@ def render_curves(
         row = [f"{rate:.3f}".rjust(widths[0])]
         for curve, width in zip(curves, widths[1:]):
             match = next(
-                (p for p in curve.points if p.injection_rate == rate), None
+                (
+                    p
+                    for p in curve.points
+                    if _rate_key(p.injection_rate) == rate
+                ),
+                None,
             )
             if match is None:
                 row.append("-".rjust(width))

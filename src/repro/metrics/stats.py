@@ -67,8 +67,16 @@ class LatencyStats:
 
     @property
     def stddev(self) -> float:
+        """Sample standard deviation; NaN when empty, like :attr:`mean`.
+
+        A single sample has zero spread (0.0); an empty accumulator has
+        *no* spread, and reporting 0.0 there would make a no-deliveries
+        run look like a perfectly consistent one.
+        """
         n = len(self._samples)
-        if n < 2:
+        if n == 0:
+            return math.nan
+        if n == 1:
             return 0.0
         mean = self.mean
         var = sum((s - mean) ** 2 for s in self._samples) / (n - 1)

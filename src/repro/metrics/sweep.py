@@ -39,7 +39,18 @@ class SweepPoint:
     drained: bool
 
     def is_saturated(self, zero_load: float) -> bool:
-        """Whether this point is saturated relative to ``zero_load``."""
+        """Whether this point is saturated relative to ``zero_load``.
+
+        Raises :class:`ValueError` on a NaN ``zero_load``: a NaN
+        reference makes the latency comparison silently False, which
+        would classify every drained point as stable and corrupt
+        saturation-rate scans downstream.
+        """
+        if math.isnan(zero_load):
+            raise ValueError(
+                "zero-load latency is NaN (zero-load run delivered no "
+                "measured packets); cannot classify saturation"
+            )
         if not self.drained:
             return True
         if math.isnan(self.avg_latency):

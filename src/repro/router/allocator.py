@@ -22,8 +22,9 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+from repro.exceptions import InvariantViolation
 from repro.router.output import OutputPort
-from repro.router.vcstate import InputVc
+from repro.router.vcstate import InputVc, VcState
 from repro.routing.requests import Priority, VcRequest
 from repro.topology.ports import Direction
 
@@ -100,3 +101,42 @@ def allocate_vcs(
         )
         grants.append(VaGrant(winner, direction, vc, top))
     return grants
+
+
+def verify_grants(
+    grants: list[VaGrant], outputs: dict[Direction, OutputPort]
+) -> None:
+    """Check one allocation round's grants before they are applied.
+
+    Called by the router when :mod:`repro.validate` is active: every
+    grant must target a distinct, currently grantable downstream VC and
+    go to an input VC still in the ROUTING state (the ROUTING -> VA ->
+    ACTIVE ordering).  Raises
+    :class:`~repro.exceptions.InvariantViolation` otherwise.
+    """
+    granted: set[tuple[Direction, int]] = set()
+    for grant in grants:
+        key = (grant.direction, grant.out_vc)
+        if key in granted:
+            raise InvariantViolation(
+                "vc_allocation",
+                "downstream VC granted to two input VCs in one round",
+                direction=grant.direction,
+                vc=grant.out_vc,
+            )
+        granted.add(key)
+        if grant.input_vc.state is not VcState.ROUTING:
+            raise InvariantViolation(
+                "vc_allocation",
+                f"grant to an input VC in the "
+                f"{grant.input_vc.state.value} state, expected routing",
+                direction=grant.direction,
+                vc=grant.out_vc,
+            )
+        if not outputs[grant.direction].grantable(grant.out_vc):
+            raise InvariantViolation(
+                "vc_allocation",
+                "grant targets a busy downstream VC",
+                direction=grant.direction,
+                vc=grant.out_vc,
+            )

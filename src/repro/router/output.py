@@ -280,6 +280,74 @@ class OutputPort:
         """Reset the per-cycle switch acceptance counter."""
         self._accepted_this_cycle = 0
 
+    # ------------------------------------------------------------------
+    def consistency_violation(self) -> str | None:
+        """First broken internal invariant, or ``None``.
+
+        Recomputes every incrementally-maintained view (idle cache, busy
+        count, footprint index, adaptive credit total) from the ground
+        truth.  Used by :mod:`repro.validate` between cycles; mid-cycle
+        the caches may legitimately lag the arrays.
+        """
+        depth = self.downstream_depth
+        for vc in range(self.num_vcs):
+            credit = self.credits[vc]
+            if not 0 <= credit <= depth:
+                return f"VC {vc} credit count {credit} outside [0, {depth}]"
+            if self.allocated[vc] and self._draining[vc]:
+                return f"VC {vc} both allocated and draining"
+            if self._draining[vc] and not self.atomic_realloc:
+                return f"VC {vc} draining without atomic reallocation"
+            if self.allocated[vc] and self.owner_dst[vc] is None:
+                return f"allocated VC {vc} has no owner destination"
+        if len(self.fifo) > self.fifo_depth:
+            return "staging FIFO above its depth"
+        busy = [
+            v
+            for v in self._adaptive
+            if self.allocated[v] or self._draining[v]
+        ]
+        if self._busy_count != len(busy):
+            return (
+                f"busy count {self._busy_count} != recounted "
+                f"{len(busy)} busy adaptive VCs"
+            )
+        adaptive_credits = sum(self.credits[v] for v in self._adaptive)
+        if self._adaptive_credits != adaptive_credits:
+            return (
+                f"adaptive credit total {self._adaptive_credits} != "
+                f"recounted {adaptive_credits}"
+            )
+        if self._idle_cache is not None:
+            idle = [
+                v
+                for v in self._adaptive
+                if not self.allocated[v] and not self._draining[v]
+            ]
+            if self._idle_cache != idle:
+                return f"idle-VC cache {self._idle_cache} != recounted {idle}"
+        indexed = set()
+        for dst, vcs in self._fp_index.items():
+            if not vcs:
+                return f"empty footprint-index entry for destination {dst}"
+            for v in vcs:
+                if v == self.escape_vc:
+                    return f"escape VC {v} in the footprint index"
+                if self.owner_dst[v] != dst:
+                    return (
+                        f"footprint index lists VC {v} under destination "
+                        f"{dst} but its owner is {self.owner_dst[v]}"
+                    )
+                if v in indexed:
+                    return f"VC {v} indexed twice in the footprint index"
+                indexed.add(v)
+        if indexed != set(busy):
+            return (
+                f"footprint index covers VCs {sorted(indexed)} but the "
+                f"busy adaptive VCs are {sorted(busy)}"
+            )
+        return None
+
     def __repr__(self) -> str:
         return (
             f"OutputPort({self.direction.name}, busy={sum(self.allocated)}/"

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import random
 
-from repro.router.allocator import allocate_vcs
+from repro.router.allocator import allocate_vcs, verify_grants
 from repro.router.arbiter import RoundRobinArbiter
 from repro.router.flit import Flit
 from repro.router.output import OutputPort
@@ -164,6 +164,9 @@ class Router:
         # guarded by one hoisted is-not-None check so a run without
         # telemetry pays nothing beyond the attribute read.
         self.probe = None
+        # Validation hook (an InvariantChecker) or None; when set, each
+        # VC-allocation round's grants are verified before being applied.
+        self.validator = None
         # Fault awareness: bitmask of output directions whose link (or
         # downstream router) is currently dead, mirrored into the route
         # context so algorithms can steer around it.  The epoch counter
@@ -290,6 +293,8 @@ class Router:
 
         if requests:
             grants = allocate_vcs(requests, self.output_ports, self.rng)
+            if self.validator is not None:
+                verify_grants(grants, self.output_ports)
             probe = self.probe
             for grant in grants:
                 head = grant.input_vc.front()

@@ -123,6 +123,61 @@ class InputVc:
             self.refresh_state()
         return flit
 
+    def legality_violation(self) -> str | None:
+        """First violated state-machine/wormhole invariant, or ``None``.
+
+        Used by :mod:`repro.validate` between pipeline stages; the
+        invariants below are not guaranteed to hold mid-stage (e.g.
+        between a pop and the matching send inside switch traversal).
+        """
+        state = self.state
+        fifo = self.fifo
+        if len(fifo) > self.depth:
+            return "input VC holds more flits than its buffer depth"
+        if state is VcState.IDLE:
+            if fifo:
+                return "IDLE input VC holds buffered flits"
+            if self.out_direction is not None or self.out_vc is not None:
+                return "IDLE input VC holds output registers"
+            if self.committed_dir is not None:
+                return "IDLE input VC holds a route commitment"
+        elif state is VcState.ROUTING:
+            if not fifo:
+                return "ROUTING input VC has no buffered flit"
+            if not fifo[0].is_head:
+                return "ROUTING input VC fronted by a non-head flit"
+            if self.out_direction is not None or self.out_vc is not None:
+                return "ROUTING input VC already holds output registers"
+        else:  # ACTIVE
+            if self.out_direction is None or self.out_vc is None:
+                return "ACTIVE input VC missing output registers"
+            if self.committed_dir is not None:
+                return "ACTIVE input VC still holds a route commitment"
+        prev: Flit | None = None
+        for flit in fifo:
+            if prev is None:
+                # Only an ACTIVE VC may be mid-packet at its front.
+                if not flit.is_head and state is not VcState.ACTIVE:
+                    return (
+                        "non-head flit at the front of a non-ACTIVE "
+                        "input VC"
+                    )
+            elif prev.is_tail:
+                if not flit.is_head:
+                    return "non-head flit follows a tail flit"
+                if flit.packet is prev.packet:
+                    return "packet restarts behind its own tail"
+            else:
+                if flit.packet is not prev.packet:
+                    return "packet interleaving within one VC"
+                if flit.index != prev.index + 1:
+                    return (
+                        f"out-of-order flits within a packet "
+                        f"({prev.index} then {flit.index})"
+                    )
+            prev = flit
+        return None
+
     def __repr__(self) -> str:
         return (
             f"InputVc({self.direction.name}.{self.index}, {self.state.value}, "

@@ -68,6 +68,8 @@ faults.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.exceptions import SimulationError
 from repro.faults.manager import FaultManager
 from repro.metrics.stats import LatencyStats
@@ -85,6 +87,9 @@ from repro.topology.mesh import Mesh2D
 from repro.topology.ports import OPPOSITE, Direction
 from repro.traffic.factory import create_traffic
 from repro.traffic.patterns import TrafficGenerator
+
+if TYPE_CHECKING:
+    from repro.validate.config import ValidationConfig
 
 #: Cycles without any flit movement (while flits are in flight) after which
 #: the engine declares a deadlock.
@@ -106,6 +111,7 @@ class Simulator:
         traffic: TrafficGenerator | None = None,
         *,
         engine_mode: str = "skip",
+        validation: "ValidationConfig | None" = None,
     ) -> None:
         if engine_mode not in ("skip", "fast", "legacy"):
             raise ValueError(f"unknown engine mode {engine_mode!r}")
@@ -207,6 +213,18 @@ class Simulator:
         if self.telemetry is not None and active_telemetry:
             for router in self.routers:
                 router.probe = self.telemetry
+
+        # Validation: same null-object shape as telemetry.  Imported
+        # lazily so a run without validation never loads the checkers;
+        # validation is an engine argument, not config state, so it
+        # cannot change cache keys or serialized configs.
+        self.validator = None
+        if validation is not None and validation.active:
+            from repro.validate.checker import InvariantChecker
+
+            self.validator = InvariantChecker(validation)
+            for router in self.routers:
+                router.validator = self.validator
 
         # Statistics.
         self.latency = LatencyStats()
@@ -375,6 +393,7 @@ class Simulator:
         # 6. Traffic generation and injection.  Packets generated at a
         # dead endpoint are dropped (still counted as offered/created so
         # delivered_fraction sees them); dead sources do not inject.
+        val = self.validator
         in_window = self._in_window(cycle)
         for packet in self.traffic.generate(cycle, in_window):
             if packet.measured:
@@ -384,7 +403,11 @@ class Simulator:
             if tel is not None:
                 tel.packet_created(cycle, packet)
             if router_dead is not None and router_dead[packet.src]:
+                if val is not None:
+                    val.packet_generated(packet, True)
                 continue
+            if val is not None:
+                val.packet_generated(packet, False)
             self.sources[packet.src].enqueue(packet)
             self._source_backlog += packet.size
         for source in self.sources:
@@ -403,6 +426,8 @@ class Simulator:
         self._watchdog(progressed, cycle)
         if tel is not None:
             tel.end_cycle(self, cycle)
+        if val is not None:
+            val.end_cycle(self, cycle)
         self.cycle += 1
 
     def _step_legacy(self) -> None:
@@ -495,6 +520,7 @@ class Simulator:
                 )
 
         # 6. Traffic generation and injection.
+        val = self.validator
         in_window = self._in_window(cycle)
         for packet in self.traffic.generate(cycle, in_window):
             if packet.measured:
@@ -504,7 +530,11 @@ class Simulator:
             if tel is not None:
                 tel.packet_created(cycle, packet)
             if router_dead is not None and router_dead[packet.src]:
+                if val is not None:
+                    val.packet_generated(packet, True)
                 continue
+            if val is not None:
+                val.packet_generated(packet, False)
             self.sources[packet.src].enqueue(packet)
             self._source_backlog += packet.size
         for source in self.sources:
@@ -525,6 +555,8 @@ class Simulator:
         self._watchdog(progressed, cycle)
         if tel is not None:
             tel.end_cycle(self, cycle)
+        if val is not None:
+            val.end_cycle(self, cycle)
         self.cycle += 1
 
     def _watchdog(self, progressed: bool, cycle: int) -> None:
@@ -600,6 +632,9 @@ class Simulator:
             # and synthesizes the (provably quiescent) samples that fall
             # inside the jump, keeping series identical across modes.
             self.telemetry.on_skip(self, cycle, target)
+        if self.validator is not None:
+            # Double-checks the quiescence the counters above promised.
+            self.validator.on_skip(self, cycle, target)
         self.cycle = target
         return skipped
 
@@ -640,6 +675,10 @@ class Simulator:
         return self._result()
 
     def _result(self) -> SimulationResult:
+        if self.validator is not None:
+            # Final full sweep (covers cycles a check_every stride missed
+            # and flags a mutation that never found applicable state).
+            self.validator.finish(self)
         blocking = BlockingStats()
         for router in self.routers:
             blocking.merge(router.blocking)

@@ -1,0 +1,25 @@
+"""Runtime invariant validation.
+
+Opt-in, cycle-level checking of the simulator's structural invariants
+(flit conservation, credit accounting, VC state-machine legality,
+routing-policy conformance) plus a differential harness comparing engine
+modes and cache replays.  See :mod:`repro.validate.checker` for the
+invariant catalogue and :mod:`repro.validate.differential` for the
+``repro validate`` CLI backend.
+"""
+
+from repro.validate.config import (
+    CHECKER_NAMES,
+    MUTATION_CHECKERS,
+    VALIDATE_ENV,
+    ValidationConfig,
+    validation_from_env,
+)
+
+__all__ = [
+    "CHECKER_NAMES",
+    "MUTATION_CHECKERS",
+    "VALIDATE_ENV",
+    "ValidationConfig",
+    "validation_from_env",
+]

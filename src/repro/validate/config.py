@@ -1,0 +1,154 @@
+"""Validation configuration.
+
+:class:`ValidationConfig` selects which runtime invariant checkers a
+simulation runs (see :mod:`repro.validate.checker` for the catalogue).
+Validation is an *engine argument*, not a :class:`SimulationConfig`
+field: checkers observe a run without changing it, so a validated run
+must hash to the same result-cache key and produce the same serialized
+config as an unvalidated one.  The ``REPRO_VALIDATE`` environment
+variable turns validation on for harness-driven runs (including pool
+workers) without plumbing a flag through every call site.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, fields
+
+from repro.exceptions import ConfigurationError
+
+#: Environment variable enabling validation in harness/pool runs.
+#: ``"1"``/``"all"`` enables every checker; a comma-separated subset of
+#: checker names (e.g. ``"flit_conservation,vc_states"``) enables those.
+VALIDATE_ENV = "REPRO_VALIDATE"
+
+#: The per-cycle checkers, in the order the checker runs them.
+CHECKER_NAMES = (
+    "flit_conservation",
+    "credit_accounting",
+    "vc_states",
+    "routing_conformance",
+)
+
+#: Self-test mutation kinds (see :mod:`repro.validate.mutations`), each
+#: mapped to the checker that must flag it.
+MUTATION_CHECKERS = {
+    "flit_count": "flit_conservation",
+    "credit": "credit_accounting",
+    "vc_state": "vc_states",
+    "wormhole": "vc_states",
+    "routing": "routing_conformance",
+}
+
+
+@dataclass(frozen=True)
+class ValidationConfig:
+    """Which invariant checkers one simulation runs.
+
+    Attributes
+    ----------
+    flit_conservation:
+        Global flit conservation, every checked cycle: generated flits
+        must equal source backlog + in-flight + delivered +
+        discarded-by-fault, and the engine's incremental counters must
+        match a from-scratch recount.
+    credit_accounting:
+        Per-link credit conservation: for every (router, output port,
+        VC), free credits plus every in-flight claim on the downstream
+        buffer (staged flits, flits on the wire, buffered flits, credits
+        on the return wire, fault-held credits) must equal the buffer
+        depth.
+    vc_states:
+        Per-VC state-machine legality (IDLE/ROUTING/ACTIVE register
+        consistency, head/body/tail wormhole ordering, the
+        allocated-VC <-> ACTIVE-input-VC bijection) plus the router's and
+        output ports' incremental cache consistency.
+    routing_conformance:
+        Committed routes stay inside the algorithm's allowed-direction
+        set (minimal quadrant for the adaptive algorithms), escape-VC
+        grants sit on the DOR port (Duato's condition), and footprint
+        VCs carry only their owner destination's packets.
+    check_every:
+        Run the checkers every this many checked cycles (1 = every
+        cycle).  The checkers also run once at the end of the run.
+    mutate:
+        Self-test hook: the name of a deliberate state corruption to
+        apply (one of :data:`MUTATION_CHECKERS`), proving the matching
+        checker fires.  ``None`` (the default) disables mutation.
+    mutate_cycle:
+        Earliest cycle the mutation may be applied; it retries each
+        cycle until a corruptible state exists.
+    mutate_seed:
+        Seed for the mutation's deterministic target choice.
+    """
+
+    flit_conservation: bool = True
+    credit_accounting: bool = True
+    vc_states: bool = True
+    routing_conformance: bool = True
+    check_every: int = 1
+    mutate: str | None = None
+    mutate_cycle: int = 0
+    mutate_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.check_every < 1:
+            raise ConfigurationError("check_every must be >= 1")
+        if self.mutate is not None and self.mutate not in MUTATION_CHECKERS:
+            raise ConfigurationError(
+                f"unknown mutation {self.mutate!r}; expected one of "
+                f"{sorted(MUTATION_CHECKERS)}"
+            )
+        if self.mutate_cycle < 0:
+            raise ConfigurationError("mutate_cycle must be >= 0")
+
+    @property
+    def active(self) -> bool:
+        """Whether any checker (or the mutation hook) is enabled."""
+        return bool(
+            self.flit_conservation
+            or self.credit_accounting
+            or self.vc_states
+            or self.routing_conformance
+            or self.mutate
+        )
+
+    def enabled_checkers(self) -> tuple[str, ...]:
+        """Names of the enabled checkers, in execution order."""
+        return tuple(n for n in CHECKER_NAMES if getattr(self, n))
+
+    @classmethod
+    def only(cls, *names: str, **overrides) -> "ValidationConfig":
+        """A config with exactly ``names`` enabled (self-test helper)."""
+        unknown = set(names) - set(CHECKER_NAMES)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown checkers {sorted(unknown)}; "
+                f"expected a subset of {list(CHECKER_NAMES)}"
+            )
+        flags = {n: (n in names) for n in CHECKER_NAMES}
+        flags.update(overrides)
+        return cls(**flags)
+
+
+def validation_from_env() -> ValidationConfig | None:
+    """Build a :class:`ValidationConfig` from ``$REPRO_VALIDATE``.
+
+    Returns ``None`` when the variable is unset, empty, or ``"0"``/
+    ``"off"``; a full config for ``"1"``/``"on"``/``"all"``; and a
+    subset config for a comma-separated list of checker names.
+    """
+    raw = os.environ.get(VALIDATE_ENV, "").strip()
+    if not raw or raw.lower() in ("0", "off", "false", "no"):
+        return None
+    if raw.lower() in ("1", "on", "true", "yes", "all"):
+        return ValidationConfig()
+    names = [item.strip() for item in raw.split(",") if item.strip()]
+    valid = {f.name for f in fields(ValidationConfig)} & set(CHECKER_NAMES)
+    unknown = [n for n in names if n not in valid]
+    if unknown:
+        raise ConfigurationError(
+            f"{VALIDATE_ENV} names unknown checkers {unknown}; "
+            f"expected a subset of {list(CHECKER_NAMES)}"
+        )
+    return ValidationConfig.only(*names)

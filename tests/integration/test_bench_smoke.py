@@ -28,7 +28,7 @@ def test_quick_bench_writes_report(run_bench, tmp_path):
     assert len(reports) == 1
     payload = json.loads(reports[0].read_text())
 
-    assert payload["schema"] == "footprint-noc-bench/3"
+    assert payload["schema"] == "footprint-noc-bench/4"
     assert payload["quick"] is True
 
     engine = payload["engine"]
@@ -63,3 +63,13 @@ def test_quick_bench_writes_report(run_bench, tmp_path):
         assert entry["tracing_cycles_per_sec"] > 0
     assert telemetry["overhead_budget"] == run_bench.TELEMETRY_OVERHEAD_BUDGET
     assert telemetry["baseline"] == {"skipped": "--no-baseline"}
+
+    validate = payload["validate"]
+    assert len(validate["matrix"]) == len(run_bench.QUICK_VALIDATE_MATRIX)
+    for entry in validate["matrix"]:
+        assert entry["results_identical"] is True
+        assert entry["off_cycles_per_sec"] > 0
+        assert entry["checked_cycles_per_sec"] > 0
+        assert entry["checks_run"] > 0
+    assert validate["overhead_budget"] == run_bench.VALIDATE_OVERHEAD_BUDGET
+    assert validate["baseline"] == {"skipped": "--no-baseline"}

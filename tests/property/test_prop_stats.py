@@ -1,5 +1,6 @@
 """Property-based tests for statistics and traffic invariants."""
 
+import math
 import random
 
 from hypothesis import given, strategies as st
@@ -9,6 +10,27 @@ from repro.topology.mesh import Mesh2D
 from repro.traffic.patterns import PATTERNS, pattern_destination
 
 samples = st.lists(st.integers(0, 10_000), min_size=1, max_size=500)
+maybe_empty = st.lists(st.integers(0, 10_000), max_size=500)
+
+
+def aggregates(stats):
+    """Every observable aggregate, for whole-object comparison.
+
+    Percentiles are queried first: they sort the retained samples in
+    place, which pins the float summation order inside ``stddev`` so two
+    logically equal accumulators compare bit-identical.
+    """
+    if stats.count == 0:
+        return (0,)
+    pcts = tuple(stats.percentile(q) for q in (0, 25, 50, 75, 90, 99, 100))
+    return (
+        stats.count,
+        stats.mean,
+        stats.stddev,
+        stats.minimum,
+        stats.maximum,
+        pcts,
+    )
 
 
 @given(samples)
@@ -29,7 +51,7 @@ def test_percentiles_monotone(values):
     assert ps[-1] == stats.maximum
 
 
-@given(samples, samples)
+@given(maybe_empty, maybe_empty)
 def test_merge_equals_concatenation(a, b):
     merged = LatencyStats()
     merged.extend(a)
@@ -38,9 +60,55 @@ def test_merge_equals_concatenation(a, b):
     merged.merge(other)
     combined = LatencyStats()
     combined.extend(a + b)
-    assert merged.count == combined.count
-    assert merged.mean == combined.mean
-    assert merged.percentile(50) == combined.percentile(50)
+    assert aggregates(merged) == aggregates(combined)
+
+
+@given(samples, samples)
+def test_merge_leaves_argument_untouched(a, b):
+    left = LatencyStats()
+    left.extend(a)
+    right = LatencyStats()
+    right.extend(b)
+    before = aggregates(right)
+    left.merge(right)
+    assert aggregates(right) == before
+
+
+@given(
+    samples,
+    st.floats(min_value=0.0, max_value=100.0),
+    st.floats(min_value=0.0, max_value=100.0),
+)
+def test_percentile_monotone_at_arbitrary_floats(values, q1, q2):
+    stats = LatencyStats.from_samples(values)
+    lo, hi = sorted((q1, q2))
+    assert stats.percentile(lo) <= stats.percentile(hi)
+
+
+@given(maybe_empty)
+def test_round_trip_preserves_aggregates(values):
+    original = LatencyStats.from_samples(values)
+    rebuilt = LatencyStats.from_samples(original.samples())
+    assert aggregates(rebuilt) == aggregates(original)
+
+
+@given(maybe_empty)
+def test_samples_is_a_copy(values):
+    stats = LatencyStats.from_samples(values)
+    exported = stats.samples()
+    exported.append(999_999)
+    assert stats.count == len(values)
+
+
+@given(maybe_empty)
+def test_empty_aggregates_agree(values):
+    # Regression companion: mean and stddev must agree on "no data".
+    stats = LatencyStats.from_samples(values)
+    if stats.count == 0:
+        assert math.isnan(stats.mean) and math.isnan(stats.stddev)
+    else:
+        assert not math.isnan(stats.mean)
+        assert not math.isnan(stats.stddev)
 
 
 @given(samples)

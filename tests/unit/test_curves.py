@@ -64,6 +64,21 @@ class TestRendering:
         text = render_curves("demo", [a])
         assert "sat" in text
 
+    def test_last_ulp_rate_shares_row(self):
+        # Regression: bisection-refined rates differing from grid rates
+        # only in the last ulp used to render as separate all-dash rows.
+        grid_rate = 0.3
+        refined_rate = 0.1 + 0.2  # 0.30000000000000004
+        assert refined_rate != grid_rate
+        a = curve("alpha", [point(grid_rate, 10)])
+        b = curve("beta", [point(refined_rate, 12)])
+        text = render_curves("demo", [a, b])
+        rows = [ln for ln in text.splitlines() if ln.startswith(" ")]
+        data_rows = [r for r in rows if "0.300" in r]
+        assert len(data_rows) == 1
+        assert "10.0" in data_rows[0] and "12.0" in data_rows[0]
+        assert "-" not in data_rows[0]
+
     def test_render_table_alignment(self):
         text = render_table(
             "t", ["col1", "column2"], [["a", "b"], ["cc", "dd"]]

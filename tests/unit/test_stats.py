@@ -18,6 +18,9 @@ class TestBasics:
         stats = LatencyStats()
         assert stats.count == 0
         assert math.isnan(stats.mean)
+        # Regression: empty stddev used to report 0.0 while mean reported
+        # NaN; empty aggregates must agree that there is no data.
+        assert math.isnan(stats.stddev)
         with pytest.raises(ValueError):
             stats.minimum
         with pytest.raises(ValueError):

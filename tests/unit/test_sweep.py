@@ -42,6 +42,18 @@ class TestSweepPoint:
         )
         assert p.is_saturated(10.0)
 
+    def test_nan_zero_load_raises(self):
+        # Regression: NaN zero-load used to make the latency comparison
+        # silently False, classifying every drained point as stable.
+        p = SweepPoint(0.5, avg_latency=100, accepted_rate=0.4, drained=True)
+        with pytest.raises(ValueError, match="zero-load"):
+            p.is_saturated(float("nan"))
+
+    def test_nan_zero_load_raises_even_when_undrained(self):
+        p = SweepPoint(0.5, avg_latency=12, accepted_rate=0.4, drained=False)
+        with pytest.raises(ValueError, match="zero-load"):
+            p.is_saturated(float("nan"))
+
 
 class TestRealSweeps:
     def test_run_point(self, config):
