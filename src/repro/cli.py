@@ -94,6 +94,17 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--footprint-vc-limit", type=int, default=None)
     run.add_argument("--seed", type=int, default=1)
     run.add_argument(
+        "--engine-mode",
+        choices=["vector", "skip", "fast", "legacy"],
+        default=None,
+        help=(
+            "execution engine (default: $REPRO_ENGINE_MODE, else "
+            "'skip'); all modes are bit-identical — 'vector' runs the "
+            "structure-of-arrays batch core and falls back to 'skip' "
+            "for configs needing per-object hooks (faults, telemetry)"
+        ),
+    )
+    run.add_argument(
         "--faults",
         default=None,
         metavar="SPEC",
@@ -389,7 +400,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         faults=faults,
         telemetry=telemetry,
     )
-    result = run_simulation(config, verbose=False)
+    result = run_simulation(config, verbose=False, engine_mode=args.engine_mode)
     print(f"configuration : {config.describe()}")
     if faults is not None:
         print(f"faults        : {faults.describe()}")
@@ -612,7 +623,15 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     failures = 0
     for entry in report.entries:
         if entry.ok:
-            print(f"ok   {entry.description}  [{entry.checks_run} checks]")
+            note = (
+                f"  [vector fell back: {entry.vector_fallback}]"
+                if entry.vector_fallback
+                else ""
+            )
+            print(
+                f"ok   {entry.description}  [{entry.checks_run} "
+                f"checks]{note}"
+            )
         else:
             failures += 1
             print(f"FAIL {entry.description}")

@@ -97,31 +97,100 @@ def _wants_telemetry(config: SimulationConfig) -> bool:
     return telemetry is not None and telemetry.active
 
 
-def _run_task(task: SimTask) -> SimulationResult:
+def estimate_task_cycles(task: SimTask) -> int:
+    """A relative cost estimate for scheduling: simulated cycle-nodes.
+
+    Wall time per task scales with how many cycles the run simulates and
+    how many routers do per-cycle work, so ``cycles x nodes`` is a good
+    (cheap, deterministic) proxy for balancing worker batches.  The
+    drain phase is weighted lightly: it usually terminates long before
+    its budget once in-flight packets land.
+    """
+    config = task.resolved_config()
+    cycles = (
+        config.warmup_cycles
+        + config.measure_cycles
+        + config.drain_cycles // 4
+    )
+    height = config.height if config.height is not None else config.width
+    return max(1, cycles * config.width * height)
+
+
+def partition_tasks(
+    costs: list[int], buckets: int
+) -> list[list[int]]:
+    """Split task indices into ``buckets`` balanced batches (LPT greedy).
+
+    Returns index batches ordered by first task index; every index
+    appears exactly once.  Longest-processing-time-first assignment onto
+    the least-loaded bucket keeps the makespan near-optimal, which is
+    what makes one-submission-per-worker cheaper than per-task
+    round-trips for grids of many small simulations.
+    """
+    buckets = min(buckets, len(costs))
+    order = sorted(range(len(costs)), key=lambda i: (-costs[i], i))
+    loads = [0] * buckets
+    batches: list[list[int]] = [[] for _ in range(buckets)]
+    for i in order:
+        lightest = loads.index(min(loads))
+        batches[lightest].append(i)
+        loads[lightest] += costs[i]
+    for batch in batches:
+        batch.sort()
+    batches.sort(key=lambda b: b[0])
+    return batches
+
+
+def _run_task(
+    task: SimTask, engine_mode: str | None = None
+) -> SimulationResult:
     # Imported lazily: the engine pulls in repro.metrics, and importing it
     # at module level would recreate the circularity sweep.py avoids.
-    from repro.sim.engine import Simulator
+    from repro.sim.engine import Simulator, engine_mode_from_env
     from repro.validate.config import validation_from_env
 
-    # $REPRO_VALIDATE propagates to pool workers through the environment,
-    # so validated grids need no per-task plumbing.  Note cache hits skip
-    # this path entirely: only simulated misses are checked.
+    # $REPRO_VALIDATE and $REPRO_ENGINE_MODE propagate to pool workers
+    # through the environment, so validated or vector-mode grids need no
+    # per-task plumbing.  Note cache hits skip this path entirely: only
+    # simulated misses are checked.
+    if engine_mode is None:
+        engine_mode = engine_mode_from_env()
     return Simulator(
-        task.resolved_config(), validation=validation_from_env()
+        task.resolved_config(),
+        engine_mode=engine_mode,
+        validation=validation_from_env(),
     ).run()
+
+
+def _run_task_batch(
+    payload: tuple[list[SimTask], str | None],
+) -> list[SimulationResult]:
+    """Worker entry point: run one pre-balanced batch of tasks."""
+    tasks, engine_mode = payload
+    return [_run_task(task, engine_mode) for task in tasks]
 
 
 def run_tasks(
     tasks: Iterable[SimTask],
     jobs: int | str | None = None,
     cache: "ResultCache | None" = None,
+    engine_mode: str | None = None,
 ) -> list[SimulationResult]:
     """Run every task, returning results in task order.
 
     With ``jobs`` resolving to 1 (or a grid of at most one task) the
-    tasks run serially in-process; otherwise they are distributed over a
-    process pool.  Both paths produce identical results because each task
-    is an independent, deterministic simulation.
+    tasks run serially in-process; otherwise they are chunked into one
+    cost-balanced batch per worker (:func:`partition_tasks` over
+    :func:`estimate_task_cycles`) and each batch is a single pool
+    submission — per-task round-trips through the executor cost more
+    than a short simulation, so small grids would otherwise run slower
+    pooled than serial.  Both paths produce identical results because
+    each task is an independent, deterministic simulation.
+
+    ``engine_mode`` selects the execution engine for simulated misses
+    (``None`` defers to ``$REPRO_ENGINE_MODE``, falling back to
+    ``skip``); every mode is bit-identical, so cached results are
+    equally valid for all of them.
 
     When a :class:`~repro.harness.cache.ResultCache` is supplied it is
     consulted per task before simulating; only misses are executed (and
@@ -148,10 +217,22 @@ def run_tasks(
     pending_tasks = [task_list[i] for i in pending]
     workers = min(resolve_jobs(jobs), len(pending_tasks))
     if workers <= 1:
-        fresh = [_run_task(task) for task in pending_tasks]
+        fresh = [_run_task(task, engine_mode) for task in pending_tasks]
     else:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            fresh = list(pool.map(_run_task, pending_tasks, chunksize=1))
+        costs = [estimate_task_cycles(task) for task in pending_tasks]
+        batches = partition_tasks(costs, workers)
+        fresh = [None] * len(pending_tasks)
+        with ProcessPoolExecutor(max_workers=len(batches)) as pool:
+            futures = [
+                pool.submit(
+                    _run_task_batch,
+                    ([pending_tasks[j] for j in batch], engine_mode),
+                )
+                for batch in batches
+            ]
+            for batch, future in zip(batches, futures):
+                for j, result in zip(batch, future.result()):
+                    fresh[j] = result
     for index, result in zip(pending, fresh):
         if cache is not None:
             cache.put(result)
@@ -163,8 +244,12 @@ def run_configs(
     configs: Iterable[SimulationConfig],
     jobs: int | str | None = None,
     cache: "ResultCache | None" = None,
+    engine_mode: str | None = None,
 ) -> list[SimulationResult]:
     """Run one simulation per config, results in config order."""
     return run_tasks(
-        (SimTask(config) for config in configs), jobs, cache=cache
+        (SimTask(config) for config in configs),
+        jobs,
+        cache=cache,
+        engine_mode=engine_mode,
     )

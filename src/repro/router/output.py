@@ -132,10 +132,15 @@ class OutputPort:
         if not self.fresh_released:
             return _EMPTY
         owner = self.owner_dst
+        # Ascending VC order, independent of set-iteration internals:
+        # request order feeds the allocator's tie-break draws, so it must
+        # be deterministic and engine-representation-agnostic (the vector
+        # engine reconstructs request lists in ascending-VC order).
+        fresh = self.fresh_released
         return [
             v
-            for v in self.fresh_released
-            if v != self.escape_vc and owner[v] == dst and self.grantable(v)
+            for v in self._adaptive
+            if v in fresh and owner[v] == dst and self.grantable(v)
         ]
 
     def fresh_other_vcs(self, dst: int) -> list[int]:
@@ -143,10 +148,11 @@ class OutputPort:
         if not self.fresh_released:
             return _EMPTY
         owner = self.owner_dst
+        fresh = self.fresh_released
         return [
             v
-            for v in self.fresh_released
-            if v != self.escape_vc and owner[v] != dst and self.grantable(v)
+            for v in self._adaptive
+            if v in fresh and owner[v] != dst and self.grantable(v)
         ]
 
     def clear_fresh(self) -> None:

@@ -174,6 +174,80 @@ class RoutingAlgorithm(abc.ABC):
         return self.vc_requests_at(ctx, self.select_output(ctx))
 
     # ------------------------------------------------------------------
+    # Batched request generation (vector engine)
+    # ------------------------------------------------------------------
+    def candidate_mask(self, state, current, destination, committed):
+        """Batched ``vc_requests_at`` over whole-network arrays.
+
+        Parameters are a :class:`~repro.routing.batch.VcStateArrays` view
+        of every output port's VC state plus three equal-length integer
+        arrays describing the packets being routed: current router,
+        destination, and the committed output direction (``LOCAL`` at the
+        destination).  Returns an ``int8`` priority array shaped
+        ``[batch, NUM_PORTS, num_vcs]`` where entry ``[b, d, v]`` is the
+        :class:`Priority` of packet ``b``'s request for VC ``v`` at port
+        ``d``, or ``-1`` for no request.
+
+        Enumerating a row's requests in (priority descending, VC
+        ascending) order with the escape request last reproduces the
+        scalar request-list order exactly: every scalar implementation
+        emits same-priority requests for a single direction in ascending
+        VC order, and the escape request is always the lone LOWEST entry.
+        The scalar ``vc_requests_at`` is the oracle
+        (``tests/property/test_prop_candidate_mask.py``).
+
+        This default implements the oblivious policy shared by DOR,
+        Odd-Even, and DBAR (+ the ejection requests every algorithm
+        uses): all idle adaptive VCs at the committed port at LOW, plus
+        the escape request for Duato-based algorithms.  Algorithms with
+        different VC selection override it (Footprint, XORDET overlays).
+        """
+        import numpy as np
+
+        from repro.topology.ports import NUM_PORTS
+
+        batch = len(current)
+        pri = np.full(
+            (batch, NUM_PORTS, state.num_vcs), -1, dtype=np.int8
+        )
+        g = current * NUM_PORTS + committed
+        idle = state.adaptive[g] & ~state.busy[g]
+        rows = np.arange(batch)
+        pri[rows, committed] = np.where(
+            idle, np.int8(Priority.LOW), np.int8(-1)
+        )
+        if self.uses_escape:
+            self._apply_escape_mask(state, current, destination, committed, pri)
+        return pri
+
+    def _apply_escape_mask(
+        self, state, current, destination, committed, pri, suppress=None
+    ) -> None:
+        """Write the LOWEST-priority escape requests into ``pri`` in place.
+
+        Mirrors :meth:`escape_request`: one request for the escape VC at
+        the DOR port, emitted only when that VC is currently grantable
+        and the packet is not ejecting.  ``suppress`` masks rows that
+        must not request the escape VC (Footprint's waiting-on-footprint
+        rule).
+        """
+        import numpy as np
+
+        from repro.topology.ports import NUM_PORTS
+
+        escape = state.escape_vc
+        if escape is None:
+            return
+        eligible = committed != int(Direction.LOCAL)
+        if suppress is not None:
+            eligible = eligible & ~suppress
+        dor = state.dor_directions(current, destination)
+        grantable = ~state.busy[current * NUM_PORTS + dor, escape]
+        emit = eligible & grantable
+        rows = np.nonzero(emit)[0]
+        pri[rows, dor[rows], escape] = np.int8(Priority.LOWEST)
+
+    # ------------------------------------------------------------------
     # Shared helpers
     # ------------------------------------------------------------------
     @staticmethod

@@ -1,0 +1,152 @@
+"""Structure-of-arrays VC-state view for batched routing decisions.
+
+The vector engine (:mod:`repro.sim.vector`) keeps the whole network's
+output-port VC state in a handful of dense numpy arrays indexed by
+*global port id* ``g = node * NUM_PORTS + direction`` and VC index.
+:class:`VcStateArrays` bundles those arrays (plus the few scalar
+parameters routing decisions depend on) into the view consumed by
+:meth:`repro.routing.base.RoutingAlgorithm.candidate_mask` — the batched
+counterpart of the scalar per-packet ``vc_requests_at``.
+
+The arrays are *live views*: the engine mutates them in place and the
+container never copies.  For oracle tests, :meth:`VcStateArrays.capture`
+builds a snapshot from scalar :class:`~repro.router.output.OutputPort`
+objects so batched and scalar request generation can be compared on
+identical state.
+
+Semantics of each array (all shaped ``[G, V]``):
+
+``busy``
+    VC is allocated *or* draining — exactly the complement of the scalar
+    ``grantable``.  Includes the escape VC.
+``fresh``
+    VC was released since the last allocation round (the scalar
+    ``fresh_released`` set).  A fresh VC is always grantable.
+``owner``
+    Destination of the VC's current (or, while fresh, most recent)
+    owner packet; ``-1`` before the first allocation.  Deliberately
+    stale after release, matching the scalar owner register.
+``adaptive``
+    VCs a non-escape request may target: everything except the escape
+    VC at non-LOCAL ports (ejection ports reserve no escape VC).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping
+
+import numpy as np
+
+from repro.topology.ports import NUM_PORTS, Direction
+
+if TYPE_CHECKING:
+    from repro.router.output import OutputPort
+    from repro.topology.mesh import Mesh2D
+
+
+@dataclass
+class VcStateArrays:
+    """Dense ``[global port, vc]`` view of every output port's VC state."""
+
+    width: int
+    height: int
+    num_vcs: int
+    #: Congestion threshold in VCs (already scaled by ``num_vcs``).
+    congestion_threshold: int
+    footprint_vc_limit: int | None
+    #: The reserved escape VC index, or ``None`` for non-Duato algorithms.
+    escape_vc: int | None
+    busy: np.ndarray
+    fresh: np.ndarray
+    owner: np.ndarray
+    adaptive: np.ndarray
+
+    @property
+    def num_nodes(self) -> int:
+        return self.width * self.height
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(
+        cls,
+        width: int,
+        height: int,
+        num_vcs: int,
+        *,
+        congestion_threshold: int,
+        footprint_vc_limit: int | None,
+        escape_vc: int | None,
+    ) -> "VcStateArrays":
+        """A fully idle network: nothing busy, nothing fresh, no owners."""
+        size = width * height * NUM_PORTS
+        adaptive = np.ones((size, num_vcs), dtype=bool)
+        if escape_vc is not None:
+            non_local = np.arange(size) % NUM_PORTS != int(Direction.LOCAL)
+            adaptive[non_local, escape_vc] = False
+        return cls(
+            width=width,
+            height=height,
+            num_vcs=num_vcs,
+            congestion_threshold=congestion_threshold,
+            footprint_vc_limit=footprint_vc_limit,
+            escape_vc=escape_vc,
+            busy=np.zeros((size, num_vcs), dtype=bool),
+            fresh=np.zeros((size, num_vcs), dtype=bool),
+            owner=np.full((size, num_vcs), -1, dtype=np.int32),
+            adaptive=adaptive,
+        )
+
+    @classmethod
+    def capture(
+        cls,
+        mesh: "Mesh2D",
+        num_vcs: int,
+        ports_by_node: "list[Mapping[Direction, OutputPort]]",
+        *,
+        congestion_threshold: int,
+        footprint_vc_limit: int | None,
+        escape_vc: int | None,
+    ) -> "VcStateArrays":
+        """Snapshot scalar :class:`OutputPort` state (oracle tests)."""
+        state = cls.empty(
+            mesh.width,
+            mesh.height,
+            num_vcs,
+            congestion_threshold=congestion_threshold,
+            footprint_vc_limit=footprint_vc_limit,
+            escape_vc=escape_vc,
+        )
+        for node, ports in enumerate(ports_by_node):
+            for direction, port in ports.items():
+                g = node * NUM_PORTS + int(direction)
+                for v in range(num_vcs):
+                    state.busy[g, v] = port.allocated[v] or port._draining[v]
+                    state.fresh[g, v] = v in port.fresh_released
+                    owner = port.owner_dst[v]
+                    if owner is not None:
+                        state.owner[g, v] = owner
+        return state
+
+    # ------------------------------------------------------------------
+    def dor_directions(
+        self, current: np.ndarray, destination: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized :meth:`Mesh2D.dor_direction` over node-id arrays.
+
+        X is fully resolved before Y, ``LOCAL`` at the destination —
+        bit-identical to the scalar mesh query.
+        """
+        width = self.width
+        cx = current % width
+        cy = current // width
+        dx = destination % width
+        dy = destination // width
+        out = np.full(current.shape, int(Direction.LOCAL), dtype=np.int64)
+        # Y first, then overwrite with X so the X offset wins when both
+        # remain (dimension order).
+        out[dy < cy] = int(Direction.NORTH)
+        out[dy > cy] = int(Direction.SOUTH)
+        out[dx < cx] = int(Direction.WEST)
+        out[dx > cx] = int(Direction.EAST)
+        return out

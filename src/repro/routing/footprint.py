@@ -86,6 +86,81 @@ class FootprintRouting(DuatoAdaptiveRouting):
             requests.extend(self.escape_request(ctx))
         return requests
 
+    def candidate_mask(self, state, current, destination, committed):
+        """Batched Algorithm 1 as boolean mask algebra.
+
+        Reproduces :meth:`vc_requests` regime by regime — footprint VCs
+        are ``busy & adaptive & (owner == destination)``, the established
+        idle set is ``idle & ~fresh`` — plus the escape suppression of
+        :meth:`vc_requests_at` (no escape request while the packet waits
+        on a live footprint channel).  Scalar oracle-checked by the
+        candidate-mask property tests.
+        """
+        import numpy as np
+
+        from repro.topology.ports import NUM_PORTS
+
+        batch = len(current)
+        num_vcs = state.num_vcs
+        g = current * NUM_PORTS + committed
+        adaptive = state.adaptive[g]
+        busy = state.busy[g]
+        idle = adaptive & ~busy
+        established = idle & ~state.fresh[g]
+        est_count = established.sum(axis=1)
+        mine = state.owner[g] == destination[:, None]
+        fresh_grantable = state.fresh[g] & adaptive & ~busy
+        fresh_mine = fresh_grantable & mine
+        fresh_other = fresh_grantable & ~mine
+        fp_count = (busy & adaptive & mine).sum(axis=1)
+
+        eject = committed == int(Direction.LOCAL)
+        transit = ~eject
+        if state.footprint_vc_limit is not None:
+            limited = transit & (fp_count >= state.footprint_vc_limit)
+        else:
+            limited = np.zeros(batch, dtype=bool)
+        uncongested = (
+            transit & ~limited & (est_count >= state.congestion_threshold)
+        )
+        saturated = transit & ~limited & ~uncongested & (est_count == 0)
+        intermediate = transit & ~limited & ~uncongested & ~saturated
+        saturated_mine = saturated & fresh_mine.any(axis=1)
+        # A live footprint and nothing freshly reclaimable: wait, request
+        # nothing (and suppress the escape request below).
+        saturated_wait = saturated & ~saturated_mine & (fp_count > 0)
+        saturated_free = saturated & ~saturated_mine & ~saturated_wait
+
+        none = np.int8(-1)
+        low = np.int8(Priority.LOW)
+        high = np.int8(Priority.HIGH)
+        highest = np.int8(Priority.HIGHEST)
+        port_pri = np.full((batch, num_vcs), none, dtype=np.int8)
+        regime = eject | uncongested
+        port_pri[regime] = np.where(idle, low, none)[regime]
+        regime = limited | saturated_mine
+        port_pri[regime] = np.where(fresh_mine, high, none)[regime]
+        port_pri[saturated_free] = np.where(fresh_other, low, none)[
+            saturated_free
+        ]
+        layered = np.where(
+            established, highest, np.where(fresh_mine, high, none)
+        )
+        layered = np.where((layered == none) & fresh_other, low, layered)
+        port_pri[intermediate] = layered[intermediate]
+
+        pri = np.full((batch, NUM_PORTS, num_vcs), none, dtype=np.int8)
+        rows = np.arange(batch)
+        pri[rows, committed] = port_pri
+        # waiting_on_footprint: the adaptive requests came up empty while
+        # a footprint channel exists (covers both the saturated-wait and
+        # the exhausted footprint_vc_limit regimes).
+        waiting = transit & ~(port_pri >= 0).any(axis=1) & (fp_count > 0)
+        self._apply_escape_mask(
+            state, current, destination, committed, pri, suppress=waiting
+        )
+        return pri
+
     # ------------------------------------------------------------------
     # Step 2: output-port selection
     # ------------------------------------------------------------------

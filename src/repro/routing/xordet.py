@@ -85,6 +85,62 @@ class XordetOverlay(RoutingAlgorithm):
             requests.extend(self.escape_request(ctx))
         return requests
 
+    def candidate_mask(self, state, current, destination, committed):
+        """Batched XORDET: each packet requests only its mapped VC.
+
+        The destination→VC map is pure, so it is precomputed per
+        destination once and gathered; grantability and the escape
+        request follow the scalar :meth:`vc_requests_at` exactly.
+        """
+        import numpy as np
+
+        from repro.topology.ports import NUM_PORTS
+
+        batch = len(current)
+        num_vcs = state.num_vcs
+        pri = np.full((batch, NUM_PORTS, num_vcs), -1, dtype=np.int8)
+        g = current * NUM_PORTS + committed
+        rows = np.arange(batch)
+        low = np.int8(Priority.LOW)
+        none = np.int8(-1)
+
+        eject = committed == int(Direction.LOCAL)
+        idle = state.adaptive[g] & ~state.busy[g]
+        mapped = self._xordet_table(state)[destination]
+        selected = np.zeros((batch, num_vcs), dtype=bool)
+        selected[rows, mapped] = True
+        port_pri = np.where(
+            eject[:, None],
+            np.where(idle, low, none),
+            np.where(selected & ~state.busy[g], low, none),
+        )
+        pri[rows, committed] = port_pri
+        if self.uses_escape:
+            self._apply_escape_mask(state, current, destination, committed, pri)
+        return pri
+
+    def _xordet_table(self, state):
+        """Per-destination mapped VC (adaptive VC list indexing), cached."""
+        import numpy as np
+
+        key = (state.width, state.height, state.num_vcs, state.escape_vc)
+        cached = getattr(self, "_xordet_cache", None)
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        mesh = Mesh2D(state.width, state.height)
+        usable = [
+            v for v in range(state.num_vcs) if v != state.escape_vc
+        ]
+        table = np.array(
+            [
+                usable[xordet_vc(mesh, dst, len(usable))]
+                for dst in range(mesh.num_nodes)
+            ],
+            dtype=np.int64,
+        )
+        self._xordet_cache = (key, table)
+        return table
+
     def _select_direction(self, ctx: RouteContext) -> Direction:
         """Delegate output-port selection to the base algorithm."""
         base = self.base

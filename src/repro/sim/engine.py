@@ -68,9 +68,11 @@ faults.
 
 from __future__ import annotations
 
+import logging
+import os
 from typing import TYPE_CHECKING
 
-from repro.exceptions import SimulationError
+from repro.exceptions import ConfigurationError, SimulationError
 from repro.faults.manager import FaultManager
 from repro.metrics.stats import LatencyStats
 from repro.metrics.utilization import ChannelUtilization
@@ -91,6 +93,8 @@ from repro.traffic.patterns import TrafficGenerator
 if TYPE_CHECKING:
     from repro.validate.config import ValidationConfig
 
+_log = logging.getLogger(__name__)
+
 #: Cycles without any flit movement (while flits are in flight) after which
 #: the engine declares a deadlock.
 DEADLOCK_WINDOW = 5000
@@ -99,7 +103,35 @@ DEADLOCK_WINDOW = 5000
 #: stage ordering, RNG consumption, allocation policy, ...).  The result
 #: cache (:mod:`repro.harness.cache`) folds this into every cache key, so
 #: stale on-disk entries invalidate themselves on upgrade.
-ENGINE_VERSION = 3
+ENGINE_VERSION = 4
+
+#: Recognized values for ``Simulator(engine_mode=...)``.  All four modes
+#: are bit-identical on the configs they support; ``vector`` additionally
+#: falls back to ``skip`` (with a logged notice) on configs that need
+#: per-object observability hooks.
+ENGINE_MODES = ("vector", "skip", "fast", "legacy")
+
+#: Environment variable consulted for the default engine mode by the CLI
+#: and harness entry points (see :func:`engine_mode_from_env`).
+ENGINE_MODE_ENV = "REPRO_ENGINE_MODE"
+
+
+def engine_mode_from_env(default: str = "skip") -> str:
+    """The engine mode requested via ``$REPRO_ENGINE_MODE``, validated.
+
+    Returns ``default`` when the variable is unset or empty.  Raises
+    :class:`ConfigurationError` on an unrecognized value so typos fail
+    loudly instead of silently running a different engine.
+    """
+    value = os.environ.get(ENGINE_MODE_ENV, "").strip()
+    if not value:
+        return default
+    if value not in ENGINE_MODES:
+        raise ConfigurationError(
+            f"${ENGINE_MODE_ENV}={value!r} is not a valid engine mode; "
+            f"expected one of {', '.join(ENGINE_MODES)}"
+        )
+    return value
 
 
 class Simulator:
@@ -113,8 +145,34 @@ class Simulator:
         engine_mode: str = "skip",
         validation: "ValidationConfig | None" = None,
     ) -> None:
-        if engine_mode not in ("skip", "fast", "legacy"):
+        if engine_mode not in ENGINE_MODES:
             raise ValueError(f"unknown engine mode {engine_mode!r}")
+        #: The mode the caller asked for, before any fallback.
+        self.requested_engine_mode = engine_mode
+        #: Why a requested ``vector`` run degraded to ``skip`` (``None``
+        #: when it did not).  Surfaced by the differential harness and
+        #: the CLI so fallbacks are explicit, never silent.
+        self.vector_fallback: str | None = None
+        self._vector_engine_cls = None
+        if engine_mode == "vector":
+            from repro.sim.vector import vector_unsupported_reason
+
+            reason = vector_unsupported_reason(config, validation)
+            if reason is not None:
+                self.vector_fallback = reason
+                _log.info(
+                    "engine: vector mode unsupported (%s); "
+                    "falling back to skip",
+                    reason,
+                )
+                engine_mode = "skip"
+            else:
+                # Imported here, not in run(): the module (and numpy
+                # machinery it pulls in) loads once per process, and
+                # timing harnesses measure run(), not construction.
+                from repro.sim.vector.engine import VectorEngine
+
+                self._vector_engine_cls = VectorEngine
         self.engine_mode = engine_mode
         self.config = config
         self.mesh = Mesh2D(config.width, config.height)
@@ -641,6 +699,8 @@ class Simulator:
     # ------------------------------------------------------------------
     def run(self) -> SimulationResult:
         """Run warm-up, measurement, and drain; return the result."""
+        if self.engine_mode == "vector":
+            return self._vector_engine_cls(self).run()
         limit = self.config.max_cycles
         measure_start = self._measure_start
         measure_end = self._measure_end

@@ -1,0 +1,51 @@
+"""The structure-of-arrays vector engine (``engine_mode="vector"``).
+
+Instead of per-object method dispatch (Router/OutputPort/InputVc/Flit
+instances), the vector core keeps all per-VC state in flat arrays and
+bitmasks indexed by global port id ``g = node * NUM_PORTS + direction``,
+represents flits as packed integer tokens, and computes every cycle's
+routing requests for the whole network in one batched
+:meth:`~repro.routing.base.RoutingAlgorithm.candidate_mask` call.
+
+The engine is a *transliteration*, not a re-design: every stage, every
+tie-break, and every RNG draw happens in the same per-stream order as
+the scalar ``skip`` engine, so supported configurations produce
+bit-identical result signatures (the differential sweep in
+:mod:`repro.validate.differential` enforces this).  Configurations the
+core does not cover degrade to ``skip`` with a logged one-line notice
+— see :func:`vector_unsupported_reason`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.sim.config import SimulationConfig
+    from repro.validate.config import ValidationConfig
+
+
+def vector_unsupported_reason(
+    config: "SimulationConfig",
+    validation: "ValidationConfig | None" = None,
+) -> str | None:
+    """Why ``config`` cannot run on the vector core, or ``None`` if it can.
+
+    The vector core covers all nine routing algorithms, every traffic
+    generator, multi-flit packets, and arbitrary mesh sizes.  It does
+    not model per-object observability hooks: fault schedules, telemetry
+    (including flit tracing and channel-utilization counting), and the
+    invariant checkers all inspect scalar router internals that the flat
+    state deliberately does not materialize.  Such runs fall back to the
+    bit-identical ``skip`` engine instead of erroring.
+    """
+    if config.faults is not None and config.faults.events:
+        return "active fault schedule"
+    telemetry = config.telemetry
+    if telemetry is not None and telemetry.active:
+        return "active telemetry/tracing"
+    if config.track_utilization:
+        return "channel-utilization tracking"
+    if validation is not None and validation.active:
+        return "invariant validation hooks"
+    return None

@@ -1,0 +1,983 @@
+"""The flat-state vector simulation core.
+
+State layout (``N`` nodes, ``V`` VCs, ``G = N * NUM_PORTS`` global
+ports, ``g = node * NUM_PORTS + direction``, flat VC id ``i = g * V +
+vc``):
+
+* flits are packed integer tokens ``(packet_id << 2) | (is_head << 1) |
+  is_tail``; packet metadata lives in one append-only list;
+* output-port VC occupancy is a pair of per-port Python int bitmasks
+  (``allocated``, ``draining``) mirrored into the numpy ``busy`` array
+  consumed by the batched ``candidate_mask``; credits are flat lists;
+* input-VC state (FIFO, state machine, output registers, route cache)
+  is flat lists indexed by ``i``; the per-router pending set is an
+  insertion-ordered dict, matching the scalar router's iteration order.
+
+Per cycle, stage 4 (RC + VA) is restructured into three sub-phases that
+preserve every per-stream RNG draw order: (a) per router in active-set
+order, commit output ports for new head packets (all ``select_output``
+tie-break draws, in pending order); (b) one network-wide
+``candidate_mask`` call for every route-cache miss; (c) per router in
+the same order, replay the scalar separable allocator over the
+reconstructed request lists (all allocator tie-break draws).  Phases
+are exchangeable with the scalar per-router loop because routers only
+ever read and mutate their *own* output-port state during RC/VA, and
+each router's RC draws precede its allocator draws on its private
+stream either way.
+
+Everything else — arrivals, sink drain, link traversal, SA/ST, traffic
+injection, idle-cycle skipping, the deadlock watchdog, and the phase
+boundaries of :meth:`run` — is a direct transliteration of the scalar
+``skip`` engine over the flat state.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.metrics.stats import LatencyStats
+from repro.router.router import BlockingStats
+from repro.routing.batch import VcStateArrays
+from repro.routing.dbar import DbarFineRouting, DbarRouting
+from repro.routing.dor import DorRouting
+from repro.routing.footprint import FootprintRouting
+from repro.routing.oddeven import OddEvenRouting
+from repro.routing.xordet import XordetOverlay
+from repro.sim.results import SimulationResult
+from repro.topology.ports import NUM_PORTS, Direction
+
+if TYPE_CHECKING:
+    from repro.sim.engine import Simulator
+
+_LOCAL = int(Direction.LOCAL)
+
+# Input-VC state machine encoding (mirrors VcState).
+_IDLE = 0
+_ROUTING = 1
+_ACTIVE = 2
+
+
+def _base_kind(routing) -> str:
+    """Classify the (base) algorithm for the select_output replica."""
+    base = routing.base if isinstance(routing, XordetOverlay) else routing
+    if isinstance(base, FootprintRouting):
+        return "footprint"
+    if isinstance(base, DbarFineRouting):
+        return "dbar-fine"
+    if isinstance(base, DbarRouting):
+        return "dbar"
+    if isinstance(base, OddEvenRouting):
+        return "oddeven"
+    if isinstance(base, DorRouting):
+        return "dor"
+    raise NotImplementedError(
+        f"vector engine has no select_output replica for {routing!r}"
+    )
+
+
+class VectorEngine:
+    """Runs one :class:`Simulator`'s workload on the flat SoA state."""
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        config = sim.config
+        mesh = sim.mesh
+        self.config = config
+        self.mesh = mesh
+        self.routing = sim.routing
+        self.traffic = sim.traffic
+
+        num_nodes = mesh.num_nodes
+        num_vcs = config.num_vcs
+        size = num_nodes * NUM_PORTS
+        self._num_nodes = num_nodes
+        self._num_vcs = num_vcs
+        self._vc_mask_all = (1 << num_vcs) - 1
+        self._escape_vc = 0 if self.routing.uses_escape else None
+        self._atomic = self.routing.atomic_vc_reallocation
+        self._kind = _base_kind(self.routing)
+        self._overlay = isinstance(self.routing, XordetOverlay)
+        base = self.routing.base if self._overlay else self.routing
+        self._oddeven = base if isinstance(base, OddEvenRouting) else None
+        self._threshold = max(
+            1, int(config.congestion_threshold * num_vcs)
+        )
+        self._vc_depth = config.vc_buffer_depth
+        self._speedup = config.internal_speedup
+        self._ofifo_depth = config.output_buffer_depth
+
+        # Per-router RNG streams: the same cached stream objects the
+        # scalar routers were built with, still untouched.
+        self._rngs = [
+            sim.rng.stream(f"router/{node}") for node in range(num_nodes)
+        ]
+
+        # --- per-node structures -------------------------------------
+        self._port_order = [
+            [int(d) for d in mesh.router_ports(node)]
+            for node in range(num_nodes)
+        ]
+        self._link_dest = sim._link_dest
+        self._inflight = [0] * num_nodes
+        self._staged = [0] * num_nodes
+        self._buffered = [0] * num_nodes
+        self._credit_pending = [False] * num_nodes
+        self._sa_offset = [
+            node % max(1, len(self._port_order[node]))
+            for node in range(num_nodes)
+        ]
+        # All rotations of each node's port scan order, so the switch
+        # arbiter indexes a precomputed tuple instead of taking a
+        # modulus per port per cycle.
+        self._port_rot = [
+            [
+                tuple(order[(off + k) % len(order)] for k in range(len(order)))
+                for off in range(len(order))
+            ]
+            for order in self._port_order
+        ]
+        self._pending: list[dict[int, None]] = [
+            {} for _ in range(num_nodes)
+        ]
+        self._version_sum = [0] * num_nodes
+
+        # --- per global-port (g) structures --------------------------
+        self._alloc = [0] * size
+        self._drain = [0] * size
+        self._fresh = [0] * size
+        # Per-node flag: some port of the node has fresh bits set (only
+        # _release_vc sets them), so _clear_fresh_ports must scan.
+        self._fresh_any = [False] * num_nodes
+        self._occupied = [0] * size
+        # Per input-port bitmask of VCs whose packet holds an output VC
+        # (_ACTIVE): the switch arbiter only ever grants these, so its
+        # scan iterates ``occupied & active`` instead of re-checking
+        # istate per occupied VC.
+        self._active_mask = [0] * size
+        self._arb_ptr = [0] * size
+        self._accepted = [0] * size
+        self._ofifo: list[deque] = [deque() for _ in range(size)]
+        self._owner_py = [[-1] * num_vcs for _ in range(size)]
+        # Incrementally maintained per-port views, mirroring the scalar
+        # OutputPort's idle cache and footprint index: busy adaptive VC
+        # count and per-destination footprint VC counts.
+        self._busy_count = [0] * size
+        self._fp_counts: list[dict[int, int]] = [{} for _ in range(size)]
+        escape = self._escape_vc
+        self._esc_g = [
+            escape
+            if escape is not None and g % NUM_PORTS != _LOCAL
+            else -1
+            for g in range(size)
+        ]
+        self._adaptive_int = [
+            self._vc_mask_all & ~(1 << self._esc_g[g])
+            if self._esc_g[g] >= 0
+            else self._vc_mask_all
+            for g in range(size)
+        ]
+        self._adaptive_n = [m.bit_count() for m in self._adaptive_int]
+        depth = self._vc_depth
+        self._credits = [depth] * (size * num_vcs)
+        self._adaptive_credits = [
+            depth * (self._adaptive_int[g].bit_count()) for g in range(size)
+        ]
+
+        # --- per flat-VC (i = g * V + v) structures -------------------
+        total_vcs = size * num_vcs
+        self._ififo: list[deque] = [deque() for _ in range(total_vcs)]
+        self._istate = bytearray(total_vcs)
+        self._out_g = [-1] * total_vcs
+        self._out_vc = [-1] * total_vcs
+        self._committed = [-1] * total_vcs
+        self._cache_key = [-1] * total_vcs
+        self._cache_reqs: list = [None] * total_vcs
+        self._ivc_dst = [-1] * total_vcs
+        self._ivc_src = [-1] * total_vcs
+
+        # --- numpy view for candidate_mask ----------------------------
+        self.state = VcStateArrays.empty(
+            mesh.width,
+            mesh.height,
+            num_vcs,
+            congestion_threshold=self._threshold,
+            footprint_vc_limit=config.footprint_vc_limit,
+            escape_vc=escape,
+        )
+        self._busy_np = self.state.busy
+        self._fresh_np = self.state.fresh
+        self._owner_np = self.state.owner
+
+        # --- sinks ----------------------------------------------------
+        self._sink_bufs = [
+            [deque() for _ in range(num_vcs)] for _ in range(num_nodes)
+        ]
+        self._sink_mask = [0] * num_nodes
+        self._sink_ptr = [0] * num_nodes
+        self._sink_budget = [0.0] * num_nodes
+        self._sink_occupancy = [0] * num_nodes
+
+        # --- sources --------------------------------------------------
+        self._src_queue: list[deque] = [deque() for _ in range(num_nodes)]
+        self._src_flits: list = [None] * num_nodes
+        self._src_vc = [-1] * num_nodes
+        self._src_rr = [0] * num_nodes
+        self._src_pending = [0] * num_nodes
+
+        # --- engine-level state ---------------------------------------
+        self._packets: list = []
+        self._flits_next: list = []
+        self._credits_next: list = []
+        self._sink_next: list = []
+        self.cycle = 0
+        self._last_progress_cycle = 0
+        self._flits_in_network = 0
+        self._source_backlog = 0
+        self._sampling = False
+
+        # --- statistics -----------------------------------------------
+        self.latency = LatencyStats()
+        self.latency_by_flow: dict[str, LatencyStats] = {}
+        self.measured_created = 0
+        self.measured_ejected = 0
+        self.window_accepted_flits = 0
+        self.window_offered_flits = 0
+        self.blocking = BlockingStats()
+
+    # ------------------------------------------------------------------
+    # Output-port state transitions
+    # ------------------------------------------------------------------
+    def _allocate_vc(self, g: int, vc: int, dst: int) -> None:
+        bit = 1 << vc
+        self._alloc[g] |= bit
+        self._owner_py[g][vc] = dst
+        self._owner_np[g, vc] = dst
+        self._version_sum[g // NUM_PORTS] += 1
+        if self._fresh[g] & bit:
+            self._fresh[g] &= ~bit
+            self._fresh_np[g, vc] = False
+        self._busy_np[g, vc] = True
+        if vc != self._esc_g[g]:
+            self._busy_count[g] += 1
+            fp = self._fp_counts[g]
+            fp[dst] = fp.get(dst, 0) + 1
+
+    def _release_vc(self, g: int, vc: int) -> None:
+        bit = 1 << vc
+        self._alloc[g] &= ~bit
+        self._drain[g] &= ~bit
+        self._fresh[g] |= bit
+        self._fresh_any[g // NUM_PORTS] = True
+        self._fresh_np[g, vc] = True
+        self._busy_np[g, vc] = False
+        # Owner deliberately left stale (fresh-footprint reclaim).
+        self._version_sum[g // NUM_PORTS] += 1
+        if vc != self._esc_g[g]:
+            self._busy_count[g] -= 1
+            fp = self._fp_counts[g]
+            dst = self._owner_py[g][vc]
+            left = fp[dst] - 1
+            if left:
+                fp[dst] = left
+            else:
+                del fp[dst]
+
+    def _clear_fresh_ports(self, node: int) -> None:
+        if not self._fresh_any[node]:
+            return
+        self._fresh_any[node] = False
+        fresh = self._fresh
+        base = node * NUM_PORTS
+        bumps = 0
+        for d in self._port_order[node]:
+            g = base + d
+            if fresh[g]:
+                fresh[g] = 0
+                self._fresh_np[g, :] = False
+                bumps += 1
+        if bumps:
+            self._version_sum[node] += bumps
+
+    def _receive_credit(self, node: int, direction: int, vc: int) -> None:
+        g = node * NUM_PORTS + direction
+        self._credits[g * self._num_vcs + vc] += 1
+        if vc != self._esc_g[g]:
+            self._adaptive_credits[g] += 1
+        if (self._drain[g] >> vc) & 1 and (
+            self._credits[g * self._num_vcs + vc] == self._vc_depth
+        ):
+            self._release_vc(g, vc)
+            self._credit_pending[node] = True
+
+    def _receive_flit(
+        self, node: int, direction: int, vc: int, token: int
+    ) -> None:
+        g = node * NUM_PORTS + direction
+        i = g * self._num_vcs + vc
+        self._ififo[i].append(token)
+        self._inflight[node] += 1
+        self._buffered[node] += 1
+        self._occupied[g] |= 1 << vc
+        if self._istate[i] == _IDLE:
+            self._istate[i] = _ROUTING
+            packet = self._packets[token >> 2]
+            self._ivc_dst[i] = packet.dst
+            self._ivc_src[i] = packet.src
+            self._pending[node][i] = None
+
+    # ------------------------------------------------------------------
+    # Route computation replicas (same per-stream RNG draws as scalar)
+    # ------------------------------------------------------------------
+    def _idle_count(self, g: int) -> int:
+        return self._adaptive_n[g] - self._busy_count[g]
+
+    def _fp_count(self, g: int, dst: int) -> int:
+        return self._fp_counts[g].get(dst, 0)
+
+    def _select_output(self, node: int, i: int) -> int:
+        dst = self._ivc_dst[i]
+        if node == dst:
+            return _LOCAL
+        mesh = self.mesh
+        kind = self._kind
+        if kind == "dor":
+            return int(mesh.dor_direction(node, dst))
+        if kind == "oddeven":
+            candidates = self._oddeven.allowed_directions(
+                mesh, node, dst, self._ivc_src[i]
+            )
+            if len(candidates) == 1:
+                return int(candidates[0])
+            return self._select_most_idle(node, dst, candidates)
+        candidates = mesh.minimal_directions(node, dst)
+        if len(candidates) == 1:
+            return int(candidates[0])
+        if kind == "footprint":
+            return self._select_footprint(node, dst, candidates)
+        return self._select_dbar(node, candidates, kind == "dbar-fine")
+
+    def _select_most_idle(self, node: int, dst: int, candidates) -> int:
+        base = node * NUM_PORTS
+        idle = [self._idle_count(base + d) for d in candidates]
+        best = max(idle)
+        tied = [d for d, c in zip(candidates, idle) if c == best]
+        if len(tied) == 1:
+            return int(tied[0])
+        return int(tied[self._rngs[node].randrange(len(tied))])
+
+    def _select_dbar(self, node: int, candidates, fine: bool) -> int:
+        base = node * NUM_PORTS
+        scored = []
+        for d in candidates:
+            g = base + d
+            idle = self._idle_count(g)
+            uncongested = idle >= self._threshold
+            if fine:
+                scored.append(
+                    ((uncongested, self._adaptive_credits[g], idle), d)
+                )
+            else:
+                scored.append((uncongested, d))
+        best = max(score for score, _ in scored)
+        tied = [d for score, d in scored if score == best]
+        if len(tied) == 1:
+            return int(tied[0])
+        return int(tied[self._rngs[node].randrange(len(tied))])
+
+    def _select_footprint(self, node: int, dst: int, candidates) -> int:
+        base = node * NUM_PORTS
+        idle = [self._idle_count(base + d) for d in candidates]
+        best_idle = max(idle)
+        tied = [d for d, c in zip(candidates, idle) if c == best_idle]
+        if len(tied) > 1 and best_idle < self._threshold:
+            fp = [self._fp_count(base + d, dst) for d in tied]
+            best_fp = max(fp)
+            tied = [d for d, c in zip(tied, fp) if c == best_fp]
+        if len(tied) == 1:
+            return int(tied[0])
+        return int(tied[self._rngs[node].randrange(len(tied))])
+
+    # ------------------------------------------------------------------
+    # Stage 4: RC + batched request generation + allocator replay
+    # ------------------------------------------------------------------
+    def _route_and_allocate(self, active: list[int]) -> None:
+        num_vcs = self._num_vcs
+        pending = self._pending
+        inflight = self._inflight
+        accepted = self._accepted
+        cache_key = self._cache_key
+        cache_reqs = self._cache_reqs
+        committed = self._committed
+
+        # Phase (a): per-cycle port resets and RC commitments, in
+        # active-set order — identical per-router work order (and
+        # therefore per-stream RNG order) to the scalar stage-4 loop.
+        # Only the flat ivc index is collected; currents, destinations
+        # and committed ports are gathered vectorized afterwards (none
+        # of them change again before phase (b): fresh clears — the only
+        # phase-(a) version bumps — happen only on nodes with no
+        # pending ivcs, which contribute nothing to the batch).
+        alloc_nodes: list[int] = []
+        batch_i: list[int] = []
+        fresh_any = self._fresh_any
+        for node in active:
+            self._credit_pending[node] = False
+            if inflight[node] == 0:
+                if fresh_any[node]:
+                    self._clear_fresh_ports(node)
+                continue
+            base = node * NUM_PORTS
+            for d in self._port_order[node]:
+                accepted[base + d] = 0
+            pend = pending[node]
+            if not pend:
+                if fresh_any[node]:
+                    self._clear_fresh_ports(node)
+                continue
+            vsum = self._version_sum[node]
+            for i in pend:
+                if cache_key[i] != vsum:
+                    if committed[i] < 0:
+                        committed[i] = self._select_output(node, i)
+                    batch_i.append(i)
+            alloc_nodes.append(node)
+
+        # Phase (b): one whole-network candidate_mask call for every
+        # route-cache miss.  Only the *best run* of each request list —
+        # the maximal-priority requests, in ascending-VC order with the
+        # escape request ordered last — is extracted: every emitted
+        # request is grantable at emission (the algorithms only request
+        # grantable VCs, and the cache version invalidates on every
+        # grantability change), so the scalar allocator's stage-1 scan
+        # provably reduces to picking from exactly this run.
+        if batch_i:
+            count = len(batch_i)
+            arr_i = np.fromiter(batch_i, dtype=np.int64, count=count)
+            cur_arr = arr_i // (NUM_PORTS * num_vcs)
+            dst_arr = np.fromiter(
+                map(self._ivc_dst.__getitem__, batch_i),
+                dtype=np.int64,
+                count=count,
+            )
+            com_arr = np.fromiter(
+                map(committed.__getitem__, batch_i),
+                dtype=np.int64,
+                count=count,
+            )
+            pri = self.routing.candidate_mask(
+                self.state, cur_arr, dst_arr, com_arr
+            )
+            vsums = np.asarray(self._version_sum, dtype=np.int64)[
+                cur_arr
+            ].tolist()
+            for i, vsum in zip(batch_i, vsums):
+                cache_reqs[i] = None
+                cache_key[i] = vsum
+            b_idx, d_idx, v_idx = np.nonzero(pri >= 0)
+            if b_idx.size:
+                p_val = pri[b_idx, d_idx, v_idx]
+                order = np.lexsort((v_idx, -p_val, b_idx))
+                bs = b_idx[order]
+                ps = p_val[order]
+                ds = d_idx[order].tolist()
+                vs = v_idx[order].tolist()
+                # (row, priority)-run boundaries over the sorted triples;
+                # the first run of each row is its best run.  Cached
+                # entries reference slices of the shared ds/vs lists to
+                # avoid materializing per-request tuples.
+                new_run = np.empty(bs.size, dtype=bool)
+                new_run[0] = True
+                np.logical_or(
+                    bs[1:] != bs[:-1], ps[1:] != ps[:-1], out=new_run[1:]
+                )
+                run_start = np.flatnonzero(new_run)
+                run_row = bs[run_start]
+                first_of_row = np.empty(run_start.size, dtype=bool)
+                first_of_row[0] = True
+                np.not_equal(
+                    run_row[1:], run_row[:-1], out=first_of_row[1:]
+                )
+                run_end = np.append(run_start[1:], bs.size)
+                for b, p, start, end in zip(
+                    run_row[first_of_row].tolist(),
+                    ps[run_start[first_of_row]].tolist(),
+                    run_start[first_of_row].tolist(),
+                    run_end[first_of_row].tolist(),
+                ):
+                    cache_reqs[batch_i[b]] = (p, ds, vs, start, end)
+
+        # Phase (c): exact separable-allocator replay per router, in the
+        # same order; each router's allocator draws follow its own RC
+        # draws on its private stream, as in the scalar engine.  Stage 1
+        # degenerates to a draw over the cached best run (see above).
+        for node in alloc_nodes:
+            pend = pending[node]
+            base = node * NUM_PORTS
+            rng = self._rngs[node]
+            selections: dict[int, list] = {}
+            for i in pend:
+                entry = cache_reqs[i]
+                if entry is None:
+                    continue
+                best_priority, ds, vs, start, end = entry
+                k = (
+                    start
+                    if end - start == 1
+                    else start + rng.randrange(end - start)
+                )
+                selections.setdefault(ds[k] * num_vcs + vs[k], []).append(
+                    (best_priority, i)
+                )
+            for key, contenders in selections.items():
+                top = -1
+                finalists = None
+                for p, i in contenders:
+                    if p > top:
+                        top = p
+                        finalists = [i]
+                    elif p == top:
+                        finalists.append(i)
+                winner = (
+                    finalists[0]
+                    if len(finalists) == 1
+                    else finalists[rng.randrange(len(finalists))]
+                )
+                d, v = divmod(key, num_vcs)
+                g = base + d
+                self._allocate_vc(g, v, self._ivc_dst[winner])
+                self._istate[winner] = _ACTIVE
+                self._active_mask[winner // num_vcs] |= 1 << (
+                    winner % num_vcs
+                )
+                self._out_g[winner] = g
+                self._out_vc[winner] = v
+                committed[winner] = -1
+                cache_reqs[winner] = None
+                cache_key[winner] = -1
+                del pend[winner]
+            if self._sampling and pend:
+                self._sample_blocked(node, pend)
+            if self._fresh_any[node]:
+                self._clear_fresh_ports(node)
+
+    def _sample_blocked(self, node: int, pend: dict) -> None:
+        blocking = self.blocking
+        base = node * NUM_PORTS
+        num_vcs = self._num_vcs
+        for i in pend:
+            d = self._committed[i]
+            if d < 0:
+                continue
+            g = base + d
+            blocking.blocking_events += 1
+            blocking.busy_vc_samples += self._busy_count[g]
+            blocking.footprint_vc_samples += self._fp_counts[g].get(
+                self._ivc_dst[i], 0
+            )
+
+    # ------------------------------------------------------------------
+    # Stage 5: switch allocation / switch traversal
+    # ------------------------------------------------------------------
+    def _switch_traversal(self, node: int) -> bool:
+        n_ports = len(self._port_order[node])
+        offset = self._sa_offset[node] + 1
+        if offset == n_ports:
+            offset = 0
+        self._sa_offset[node] = offset
+        if self._buffered[node] == 0:
+            return False
+        num_vcs = self._num_vcs
+        base = node * NUM_PORTS
+        occupied = self._occupied
+        active_mask = self._active_mask
+        istate = self._istate
+        ififo = self._ififo
+        credits = self._credits
+        accepted = self._accepted
+        ofifo = self._ofifo
+        speedup = self._speedup
+        ofifo_depth = self._ofifo_depth
+        vc_mask_all = self._vc_mask_all
+        row = self._link_dest[node]
+        credits_next = self._credits_next
+        arb_ptr = self._arb_ptr
+        out_g_l = self._out_g
+        out_vc_l = self._out_vc
+        esc_g = self._esc_g
+        adaptive_credits = self._adaptive_credits
+        atomic = self._atomic
+        progressed = False
+        for d in self._port_rot[node][offset]:
+            g = base + d
+            mask = occupied[g] & active_mask[g]
+            if not mask:
+                continue
+            # Round-robin among the port's grantable VCs: rotate the
+            # mask so ascending set-bit order equals the pointer scan
+            # order.
+            pointer = arb_ptr[g]
+            rotated = (
+                (mask >> pointer) | (mask << (num_vcs - pointer))
+            ) & vc_mask_all
+            winner = -1
+            while rotated:
+                low = rotated & -rotated
+                v = pointer + low.bit_length() - 1
+                if v >= num_vcs:
+                    v -= num_vcs
+                i = g * num_vcs + v
+                out_g = out_g_l[i]
+                out_vc = out_vc_l[i]
+                if (
+                    credits[out_g * num_vcs + out_vc] > 0
+                    and accepted[out_g] < speedup
+                    and len(ofifo[out_g]) < ofifo_depth
+                ):
+                    winner = v
+                    break
+                rotated -= low
+            if winner < 0:
+                continue
+            arb_ptr[g] = winner + 1 if winner + 1 < num_vcs else 0
+            i = g * num_vcs + winner
+            fifo = ififo[i]
+            token = fifo.popleft()
+            self._buffered[node] -= 1
+            if not fifo:
+                occupied[g] &= ~(1 << winner)
+            # _send inlined: downstream credit spend + output staging.
+            out_g = out_g_l[i]
+            out_vc = out_vc_l[i]
+            credits[out_g * num_vcs + out_vc] -= 1
+            if out_vc != esc_g[out_g]:
+                adaptive_credits[out_g] -= 1
+            ofifo[out_g].append((token, out_vc))
+            accepted[out_g] += 1
+            self._staged[node] += 1
+            if token & 1:  # tail flit
+                if atomic:
+                    # Keep the VC reserved (owner visible as a
+                    # footprint) until all credits return; the send
+                    # just consumed one, so the drain can never
+                    # complete here.
+                    bit = 1 << out_vc
+                    self._alloc[out_g] &= ~bit
+                    self._drain[out_g] |= bit
+                else:
+                    self._release_vc(out_g, out_vc)
+                # Release the input VC.
+                istate[i] = _IDLE
+                active_mask[g] &= ~(1 << winner)
+                out_g_l[i] = -1
+                out_vc_l[i] = -1
+                self._committed[i] = -1
+                self._cache_reqs[i] = None
+                self._cache_key[i] = -1
+                if fifo:
+                    # Next packet's head is already queued behind the
+                    # tail — straight back to ROUTING.
+                    istate[i] = _ROUTING
+                    packet = self._packets[fifo[0] >> 2]
+                    self._ivc_dst[i] = packet.dst
+                    self._ivc_src[i] = packet.src
+                    self._pending[node][i] = None
+            progressed = True
+            if d != _LOCAL:
+                upstream, up_dir = row[d]
+                credits_next.append((upstream, up_dir, winner))
+        return progressed
+
+    # ------------------------------------------------------------------
+    # Stage 6: traffic generation and injection
+    # ------------------------------------------------------------------
+    def _inject(self, node: int, cycle: int) -> bool:
+        flits = self._src_flits[node]
+        num_vcs = self._num_vcs
+        g = node * NUM_PORTS + _LOCAL
+        if flits is None:
+            queue = self._src_queue[node]
+            if not queue:
+                return False
+            vc = -1
+            rr = self._src_rr[node]
+            for offset in range(num_vcs):
+                v = rr + offset
+                if v >= num_vcs:
+                    v -= num_vcs
+                i = g * num_vcs + v
+                if self._istate[i] == _IDLE and not self._ififo[i]:
+                    self._src_rr[node] = v + 1 if v + 1 < num_vcs else 0
+                    vc = v
+                    break
+            if vc < 0:
+                return False
+            packet = queue.popleft()
+            packet.injection_time = cycle
+            pid = len(self._packets)
+            self._packets.append(packet)
+            size = packet.size
+            head = (pid << 2) | 2
+            if size == 1:
+                flits = deque((head | 1,))
+            else:
+                flits = deque([head] + [pid << 2] * (size - 2))
+                flits.append((pid << 2) | 1)
+            self._src_flits[node] = flits
+            self._src_vc[node] = vc
+        vc = self._src_vc[node]
+        if len(self._ififo[g * num_vcs + vc]) >= self._vc_depth:
+            return False
+        token = flits.popleft()
+        self._src_pending[node] -= 1
+        self._receive_flit(node, _LOCAL, vc, token)
+        if not flits:
+            self._src_flits[node] = None
+        return True
+
+    def _packet_ejected(self, packet, cycle: int) -> None:
+        if self._measure_start <= cycle < self._measure_end:
+            self.window_accepted_flits += packet.size
+        if packet.measured:
+            self.measured_ejected += 1
+            self.latency.add(packet.latency)
+            flow_stats = self.latency_by_flow.setdefault(
+                packet.flow, LatencyStats()
+            )
+            flow_stats.add(packet.latency)
+
+    # ------------------------------------------------------------------
+    # One simulated cycle
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        cycle = self.cycle
+        num_vcs = self._num_vcs
+
+        # 1. Arrivals from the previous cycle's link traversals
+        #    (_receive_credit/_receive_flit inlined — these two loops
+        #    run once per flit hop and dominate arrival cost).
+        flits_now, self._flits_next = self._flits_next, []
+        credits_now, self._credits_next = self._credits_next, []
+        sink_now, self._sink_next = self._sink_next, []
+        credits = self._credits
+        esc_g = self._esc_g
+        adaptive_credits = self._adaptive_credits
+        drain = self._drain
+        vc_depth = self._vc_depth
+        for node, direction, vc in credits_now:
+            g = node * NUM_PORTS + direction
+            ci = g * num_vcs + vc
+            credits[ci] += 1
+            if vc != esc_g[g]:
+                adaptive_credits[g] += 1
+            if (drain[g] >> vc) & 1 and credits[ci] == vc_depth:
+                self._release_vc(g, vc)
+                self._credit_pending[node] = True
+        ififo = self._ififo
+        inflight_l = self._inflight
+        buffered = self._buffered
+        occupied = self._occupied
+        istate = self._istate
+        packets = self._packets
+        pending = self._pending
+        ivc_dst = self._ivc_dst
+        ivc_src = self._ivc_src
+        for node, direction, vc, token in flits_now:
+            g = node * NUM_PORTS + direction
+            i = g * num_vcs + vc
+            ififo[i].append(token)
+            inflight_l[node] += 1
+            buffered[node] += 1
+            occupied[g] |= 1 << vc
+            if istate[i] == _IDLE:
+                istate[i] = _ROUTING
+                packet = packets[token >> 2]
+                ivc_dst[i] = packet.dst
+                ivc_src[i] = packet.src
+                pending[node][i] = None
+        for node, vc, token in sink_now:
+            self._sink_bufs[node][vc].append(token)
+            self._sink_occupancy[node] += 1
+            self._sink_mask[node] |= 1 << vc
+
+        inflight = self._inflight
+        credit_pending = self._credit_pending
+        active = [
+            node
+            for node in range(self._num_nodes)
+            if inflight[node] or credit_pending[node]
+        ]
+
+        # 2. Sink drain at the ejection bandwidth.
+        progressed = False
+        credits_next = self._credits_next
+        ejection_rate = self.config.ejection_rate
+        for node in range(self._num_nodes):
+            if self._sink_occupancy[node] == 0:
+                continue
+            budget = min(self._sink_budget[node] + ejection_rate, 4.0)
+            mask = self._sink_mask[node]
+            bufs = self._sink_bufs[node]
+            while budget >= 1.0:
+                if not mask:
+                    break
+                pointer = self._sink_ptr[node]
+                vc = -1
+                for offset in range(num_vcs):
+                    candidate = pointer + offset
+                    if candidate >= num_vcs:
+                        candidate -= num_vcs
+                    if (mask >> candidate) & 1:
+                        vc = candidate
+                        break
+                self._sink_ptr[node] = vc + 1 if vc + 1 < num_vcs else 0
+                token = bufs[vc].popleft()
+                if not bufs[vc]:
+                    mask &= ~(1 << vc)
+                credits_next.append((node, _LOCAL, vc))
+                progressed = True
+                self._flits_in_network -= 1
+                self._sink_occupancy[node] -= 1
+                budget -= 1.0
+                if token & 1:
+                    packet = self._packets[token >> 2]
+                    packet.ejection_time = cycle
+                    self._packet_ejected(packet, cycle)
+            self._sink_mask[node] = mask
+            self._sink_budget[node] = budget
+
+        # 3. Link traversal: one flit per output port onto its link.
+        sink_next = self._sink_next
+        flits_next = self._flits_next
+        staged = self._staged
+        ofifo = self._ofifo
+        for node in active:
+            if not staged[node]:
+                continue
+            base = node * NUM_PORTS
+            row = self._link_dest[node]
+            for d in self._port_order[node]:
+                fifo = ofifo[base + d]
+                if not fifo:
+                    continue
+                token, vc = fifo.popleft()
+                inflight[node] -= 1
+                staged[node] -= 1
+                progressed = True
+                if d == _LOCAL:
+                    sink_next.append((node, vc, token))
+                else:
+                    neighbor, in_dir = row[d]
+                    flits_next.append((neighbor, in_dir, vc, token))
+
+        # 4. Route computation + VC allocation (batched; see above).
+        self._route_and_allocate(active)
+
+        # 5. Switch allocation/traversal; upstream credit returns.
+        for node in active:
+            if inflight[node] and self._switch_traversal(node):
+                progressed = True
+
+        # 6. Traffic generation and injection.
+        in_window = self._measure_start <= cycle < self._measure_end
+        for packet in self.traffic.generate(cycle, in_window):
+            if packet.measured:
+                self.measured_created += 1
+            if in_window:
+                self.window_offered_flits += packet.size
+            self._src_queue[packet.src].append(packet)
+            self._src_pending[packet.src] += packet.size
+            self._source_backlog += packet.size
+        for node in range(self._num_nodes):
+            if not self._src_pending[node]:
+                continue
+            if self._inject(node, cycle):
+                self._flits_in_network += 1
+                self._source_backlog -= 1
+                progressed = True
+
+        # Progress watchdog (identical contract to the scalar engine).
+        if progressed:
+            self._last_progress_cycle = cycle
+        elif (
+            self._flits_in_network > 0
+            and cycle - self._last_progress_cycle > self._deadlock_window
+        ):
+            raise SimulationError(
+                f"no flit movement for {self._deadlock_window} cycles at "
+                f"cycle {cycle} with {self._flits_in_network} flits in "
+                f"flight — routing deadlock with '{self.config.routing}'"
+            )
+        self.cycle += 1
+
+    # ------------------------------------------------------------------
+    # Idle-cycle skipping and the run loop
+    # ------------------------------------------------------------------
+    @property
+    def _measure_start(self) -> int:
+        return self.config.warmup_cycles
+
+    @property
+    def _measure_end(self) -> int:
+        return self.config.warmup_cycles + self.config.measure_cycles
+
+    def _skip_idle_cycles(self, limit: int) -> int:
+        if (
+            self._flits_in_network
+            or self._source_backlog
+            or self._flits_next
+            or self._credits_next
+            or self._sink_next
+        ):
+            return 0
+        cycle = self.cycle
+        if cycle < self._measure_start:
+            boundary = self._measure_start
+        elif cycle < self._measure_end:
+            boundary = self._measure_end
+        else:
+            boundary = limit
+        if boundary > limit:
+            boundary = limit
+        event = self.traffic.next_event_cycle(cycle, boundary)
+        target = boundary if event is None else min(event, boundary)
+        skipped = target - cycle
+        if skipped <= 0:
+            return 0
+        self.cycle = target
+        return skipped
+
+    def run(self) -> SimulationResult:
+        from repro.sim.engine import DEADLOCK_WINDOW
+
+        self._deadlock_window = DEADLOCK_WINDOW
+        limit = self.config.max_cycles
+        measure_start = self._measure_start
+        measure_end = self._measure_end
+        while self.cycle < limit:
+            cycle = self.cycle
+            if cycle >= measure_end:
+                self._sampling = False
+                if self.measured_ejected == self.measured_created:
+                    break
+            elif cycle >= measure_start:
+                self._sampling = True
+            if self._skip_idle_cycles(limit):
+                continue
+            self.step()
+        self.sim.cycle = self.cycle
+        return SimulationResult(
+            config=self.config,
+            cycles_run=self.cycle,
+            latency=self.latency,
+            latency_by_flow=self.latency_by_flow,
+            accepted_flits=self.window_accepted_flits,
+            offered_flits=self.window_offered_flits,
+            measured_created=self.measured_created,
+            measured_ejected=self.measured_ejected,
+            blocking=self.blocking,
+            telemetry=None,
+        )

@@ -31,8 +31,14 @@ from repro.sim.engine import Simulator
 from repro.sim.results import SimulationResult
 from repro.validate.config import MUTATION_CHECKERS, ValidationConfig
 
-#: Engine modes every differential run is executed under.
-ENGINE_MODES = ("skip", "fast", "legacy")
+#: Engine modes every differential run is executed under.  ``skip`` is
+#: first: its signature is the reference the others must match.  The
+#: ``vector`` run executes without invariant checkers (the vector core
+#: has no per-object hooks for them to observe — with checkers active it
+#: would just fall back to ``skip`` and self-compare); configs it cannot
+#: cover (e.g. fault schedules) still fall back, and the entry records
+#: the reason so fallbacks are visible in the report.
+ENGINE_MODES = ("skip", "fast", "legacy", "vector")
 
 _ALGORITHMS = (
     "dor",
@@ -128,6 +134,9 @@ class DifferentialEntry:
     warm_misses: int = -1
     checks_run: int = 0
     error: str | None = None
+    #: Why the ``vector`` run degraded to ``skip`` (``None`` when the
+    #: vector core actually executed the config).
+    vector_fallback: str | None = None
 
     @property
     def ok(self) -> bool:
@@ -176,10 +185,16 @@ def run_differential(
         entries.append(entry)
         try:
             for mode in ENGINE_MODES:
-                sim = Simulator(config, engine_mode=mode, validation=checks)
+                sim = Simulator(
+                    config,
+                    engine_mode=mode,
+                    validation=None if mode == "vector" else checks,
+                )
                 entry.signatures[mode] = result_signature(sim.run())
                 if sim.validator is not None:
                     entry.checks_run += sim.validator.checks_run
+                if mode == "vector":
+                    entry.vector_fallback = sim.vector_fallback
         except InvariantViolation as exc:
             entry.error = f"invariant violation: {exc}"
             continue

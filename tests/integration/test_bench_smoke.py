@@ -28,7 +28,7 @@ def test_quick_bench_writes_report(run_bench, tmp_path):
     assert len(reports) == 1
     payload = json.loads(reports[0].read_text())
 
-    assert payload["schema"] == "footprint-noc-bench/4"
+    assert payload["schema"] == "footprint-noc-bench/5"
     assert payload["quick"] is True
 
     engine = payload["engine"]
@@ -38,8 +38,12 @@ def test_quick_bench_writes_report(run_bench, tmp_path):
         assert entry["skip_cycles_per_sec"] > 0
         assert entry["fast_cycles_per_sec"] > 0
         assert entry["legacy_cycles_per_sec"] > 0
+        assert entry["vector_cycles_per_sec"] > 0
+        assert entry["vector_speedup"] > 0
     assert engine["summary"]["geomean_speedup"] > 0
     assert engine["summary"]["zero_load_geomean_speedup"] > 0
+    assert engine["summary"]["geomean_vector_speedup"] > 0
+    assert engine["summary"]["loaded_geomean_vector_speedup"] > 0
 
     assert payload["baseline"] == {"skipped": "--no-baseline"}
 
@@ -53,6 +57,13 @@ def test_quick_bench_writes_report(run_bench, tmp_path):
     assert parallel["results_identical"] is True
     assert parallel["pool_results_identical"] is True
     assert parallel["tasks"] == len(run_bench.QUICK_PARALLEL_RATES)
+    assert parallel["cpu_count"] >= 1
+    # On multi-CPU hosts bench_parallel raises if the pool loses to
+    # serial; single-CPU hosts record why the assertion was skipped.
+    assert (
+        parallel["speedup_assertion"] == "passed"
+        or parallel["speedup_assertion"].startswith("skipped")
+    )
 
     telemetry = payload["telemetry"]
     assert len(telemetry["matrix"]) == len(run_bench.QUICK_TELEMETRY_MATRIX)

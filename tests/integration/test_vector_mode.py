@@ -1,0 +1,225 @@
+"""The vector (structure-of-arrays) engine must match ``skip`` exactly.
+
+``engine_mode="vector"`` replays the scalar pipeline as whole-network
+array operations; these tests pin the contract that doing so never
+changes a simulation outcome — same cycles, same accepted flits, same
+individual latency samples — across every routing algorithm and traffic
+generator, and that unsupported configurations fall back to ``skip``
+loudly (recorded reason) rather than erroring or silently diverging.
+"""
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.exceptions import ConfigurationError
+from repro.faults.schedule import random_link_faults
+from repro.harness.parallel import SimTask, run_tasks
+from repro.harness.runner import run_simulation
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import (
+    ENGINE_MODE_ENV,
+    Simulator,
+    engine_mode_from_env,
+)
+from repro.telemetry import TelemetryConfig
+from repro.traffic.trace import TraceEvent
+from repro.validate.config import ValidationConfig
+from repro.validate.differential import result_signature
+
+ALGORITHMS = (
+    "dor",
+    "oddeven",
+    "dbar",
+    "dbar-fine",
+    "footprint",
+    "dor+xordet",
+    "oddeven+xordet",
+    "dbar+xordet",
+    "footprint+xordet",
+)
+
+
+def _config(**overrides):
+    base = dict(
+        width=4,
+        num_vcs=4,
+        vc_buffer_depth=4,
+        routing="footprint",
+        traffic="uniform",
+        injection_rate=0.15,
+        warmup_cycles=40,
+        measure_cycles=80,
+        drain_cycles=500,
+        seed=11,
+    )
+    base.update(overrides)
+    return SimulationConfig(**base)
+
+
+def _sig(mode, **overrides):
+    return result_signature(
+        Simulator(_config(**overrides), engine_mode=mode).run()
+    )
+
+
+@pytest.mark.parametrize("routing", ALGORITHMS)
+def test_vector_matches_skip_every_algorithm(routing):
+    """Multi-flit transpose at moderate load, all nine algorithms."""
+    overrides = dict(
+        routing=routing,
+        traffic="transpose",
+        injection_rate=0.25,
+        packet_size=3,
+    )
+    assert _sig("vector", **overrides) == _sig("skip", **overrides)
+
+
+@pytest.mark.parametrize(
+    "overrides",
+    [
+        {"traffic": "uniform", "packet_size_range": (1, 4)},
+        {
+            "traffic": "hotspot",
+            "ejection_rate": 0.5,
+            "footprint_vc_limit": 2,
+        },
+        {"traffic": "tornado", "width": 5, "height": 3, "routing": "dbar"},
+        {"traffic": "bitrev", "routing": "oddeven+xordet", "num_vcs": 2},
+        {"injection_rate": 0.0},
+    ],
+    ids=["multiflit", "hotspot", "tornado-rect", "bitrev", "zero-load"],
+)
+def test_vector_matches_skip_traffic_surface(overrides):
+    assert _sig("vector", **overrides) == _sig("skip", **overrides)
+
+
+def test_vector_matches_skip_trace_traffic():
+    events = [
+        TraceEvent(cycle=c, src=(3 * c) % 16, dst=(5 * c + 7) % 16, size=2)
+        for c in range(0, 60, 2)
+    ]
+    overrides = dict(traffic="trace", trace=events, injection_rate=0.0)
+    assert _sig("vector", **overrides) == _sig("skip", **overrides)
+
+
+def test_vector_is_deterministic():
+    assert _sig("vector") == _sig("vector")
+
+
+def test_supported_config_reports_no_fallback():
+    sim = Simulator(_config(), engine_mode="vector")
+    assert sim.engine_mode == "vector"
+    assert sim.requested_engine_mode == "vector"
+    assert sim.vector_fallback is None
+
+
+class TestFallback:
+    """Unsupported configs degrade to skip with a recorded reason."""
+
+    def test_fault_schedule_falls_back(self):
+        faults = random_link_faults(4, k=1, cycle=20, duration=60, seed=3)
+        config = _config(faults=faults)
+        sim = Simulator(config, engine_mode="vector")
+        assert sim.engine_mode == "skip"
+        assert sim.vector_fallback == "active fault schedule"
+        # The fallback run is exactly the skip run.
+        assert result_signature(sim.run()) == result_signature(
+            Simulator(config, engine_mode="skip").run()
+        )
+
+    def test_telemetry_falls_back(self):
+        sim = Simulator(
+            _config(telemetry=TelemetryConfig(sample_every=10)),
+            engine_mode="vector",
+        )
+        assert sim.engine_mode == "skip"
+        assert sim.vector_fallback == "active telemetry/tracing"
+
+    def test_utilization_tracking_falls_back(self):
+        sim = Simulator(_config(track_utilization=True), engine_mode="vector")
+        assert sim.engine_mode == "skip"
+        assert sim.vector_fallback == "channel-utilization tracking"
+
+    def test_validation_hooks_fall_back(self):
+        sim = Simulator(
+            _config(), engine_mode="vector", validation=ValidationConfig()
+        )
+        assert sim.engine_mode == "skip"
+        assert sim.vector_fallback == "invariant validation hooks"
+
+    def test_other_modes_never_record_fallback(self):
+        faults = random_link_faults(4, k=1, cycle=20, duration=60, seed=3)
+        sim = Simulator(_config(faults=faults), engine_mode="skip")
+        assert sim.vector_fallback is None
+
+
+class TestEngineModeEnv:
+    def test_unset_returns_default(self, monkeypatch):
+        monkeypatch.delenv(ENGINE_MODE_ENV, raising=False)
+        assert engine_mode_from_env() == "skip"
+        assert engine_mode_from_env(default="fast") == "fast"
+
+    def test_env_selects_mode(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_MODE_ENV, "vector")
+        assert engine_mode_from_env() == "vector"
+
+    def test_garbage_fails_loudly(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_MODE_ENV, "turbo")
+        with pytest.raises(ConfigurationError):
+            engine_mode_from_env()
+
+    def test_runner_honors_env(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_MODE_ENV, "vector")
+        via_env = run_simulation(_config())
+        monkeypatch.delenv(ENGINE_MODE_ENV)
+        assert result_signature(via_env) == _sig("skip")
+
+    def test_runner_argument_beats_env(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_MODE_ENV, "turbo")
+        result = run_simulation(_config(), engine_mode="vector")
+        assert result_signature(result) == _sig("skip")
+
+
+class TestParallelPlumbing:
+    def test_pooled_vector_matches_serial_skip(self):
+        tasks = [SimTask(_config(), rate=r) for r in (0.05, 0.2, 0.3)]
+        serial = run_tasks(tasks, jobs=1, engine_mode="skip")
+        pooled = run_tasks(tasks, jobs=2, engine_mode="vector")
+        assert [result_signature(r) for r in pooled] == [
+            result_signature(r) for r in serial
+        ]
+
+    def test_pool_workers_inherit_env_mode(self, monkeypatch):
+        tasks = [SimTask(_config(), rate=r) for r in (0.05, 0.2)]
+        serial = run_tasks(tasks, jobs=1)
+        monkeypatch.setenv(ENGINE_MODE_ENV, "vector")
+        pooled = run_tasks(tasks, jobs=2)
+        assert [result_signature(r) for r in pooled] == [
+            result_signature(r) for r in serial
+        ]
+
+
+def test_cli_run_engine_mode_vector(capsys):
+    code = cli_main(
+        [
+            "run",
+            "--width",
+            "4",
+            "--vcs",
+            "4",
+            "--routing",
+            "footprint",
+            "--injection-rate",
+            "0.1",
+            "--warmup",
+            "30",
+            "--measure",
+            "60",
+            "--drain",
+            "300",
+            "--engine-mode",
+            "vector",
+        ]
+    )
+    assert code == 0
+    assert "accepted" in capsys.readouterr().out.lower()

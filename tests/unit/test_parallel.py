@@ -8,6 +8,8 @@ import pytest
 from repro.harness.parallel import (
     SimTask,
     derive_task_seed,
+    estimate_task_cycles,
+    partition_tasks,
     resolve_jobs,
     run_tasks,
 )
@@ -119,6 +121,64 @@ class TestDeriveTaskSeed:
             )
             outs.add(int(proc.stdout.strip()))
         assert outs == {derive_task_seed(7, "fig8/footprint/16")}
+
+
+class TestEstimateTaskCycles:
+    def test_scales_with_mesh_and_cycles(self, config):
+        small = estimate_task_cycles(SimTask(config))
+        bigger = estimate_task_cycles(
+            SimTask(config.with_(width=8, height=8))
+        )
+        longer = estimate_task_cycles(
+            SimTask(config.with_(measure_cycles=config.measure_cycles * 10))
+        )
+        assert bigger == small * 4
+        assert longer > small
+
+    def test_rate_override_resolves(self, config):
+        # Cost comes from the resolved config, not the template.
+        assert estimate_task_cycles(
+            SimTask(config, rate=0.4)
+        ) == estimate_task_cycles(SimTask(config))
+
+    def test_always_positive(self, config):
+        zero = config.with_(
+            warmup_cycles=0, measure_cycles=0, drain_cycles=0
+        )
+        assert estimate_task_cycles(SimTask(zero)) >= 1
+
+
+class TestPartitionTasks:
+    def test_covers_every_index_once(self):
+        costs = [5, 1, 9, 3, 3, 7, 2]
+        batches = partition_tasks(costs, 3)
+        flat = sorted(i for batch in batches for i in batch)
+        assert flat == list(range(len(costs)))
+
+    def test_never_more_batches_than_tasks(self):
+        assert partition_tasks([4, 4], 8) == [[0], [1]]
+
+    def test_batches_sorted_and_ordered(self):
+        batches = partition_tasks([1, 8, 2, 8, 1, 2], 2)
+        for batch in batches:
+            assert batch == sorted(batch)
+        firsts = [batch[0] for batch in batches]
+        assert firsts == sorted(firsts)
+
+    def test_lpt_balances_loads(self):
+        # LPT keeps the spread within one task: the load gap between the
+        # heaviest and lightest bucket never exceeds the largest cost.
+        costs = [13, 11, 7, 5, 5, 3, 2, 2, 1]
+        batches = partition_tasks(costs, 3)
+        loads = [sum(costs[i] for i in batch) for batch in batches]
+        assert max(loads) - min(loads) <= max(costs)
+        # One giant task dominating everything still lands alone.
+        batches = partition_tasks([100, 1, 1, 1], 2)
+        singleton = [b for b in batches if len(b) == 1]
+        assert singleton == [[0]]
+
+    def test_single_bucket_is_identity(self):
+        assert partition_tasks([3, 1, 2], 1) == [[0, 1, 2]]
 
 
 class TestRunTasks:
