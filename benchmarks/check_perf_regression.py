@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""CI guard: the vector/skip ratio at saturation must not collapse.
+
+Compares a freshly produced ``BENCH_*.json`` against the latest one
+committed to the repository and fails (exit 1) when the saturation
+entry's ``vector_speedup`` drops below ``FLOOR_FRACTION`` of the
+committed value.  The saturation point — 8x8 footprint at rate 0.3 —
+is where the vector core earns its keep, so a regression there is the
+one that matters; absolute cycles/sec are host-dependent and noisy,
+but the within-run vector/skip *ratio* is comparable across hosts
+(both engines time the identical workload in the same process).
+
+The floor is deliberately loose (0.8x): CI runners are shared and the
+quick matrix is short, so ratio jitter of +-10% is normal.  A genuine
+regression — an accidentally de-vectorized stage, a new per-cycle
+python loop — shows up as a 2x-3x ratio collapse and clears the floor
+with room to spare.
+
+Usage::
+
+    python benchmarks/check_perf_regression.py FRESH [--reference DIR]
+
+``FRESH`` is a BENCH json file or a directory (newest file wins);
+``--reference`` defaults to this script's directory (the committed
+benchmarks).  Exit 0 on pass, 1 on regression, 2 on missing data.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: The engine-matrix entry the guard keys on (width, routing, rate).
+SATURATION_POINT = (8, "footprint", 0.3)
+
+#: Minimum acceptable fresh/committed ratio of ``vector_speedup``.
+FLOOR_FRACTION = 0.8
+
+
+def _newest_bench(path: Path) -> Path | None:
+    if path.is_file():
+        return path
+    if path.is_dir():
+        candidates = sorted(path.glob("BENCH_*.json"))
+        if candidates:
+            # Timestamps sort lexicographically.
+            return candidates[-1]
+    return None
+
+
+def _saturation_speedup(bench_path: Path) -> float | None:
+    payload = json.loads(bench_path.read_text())
+    width, routing, rate = SATURATION_POINT
+    for entry in payload.get("engine", {}).get("matrix", ()):
+        if (
+            entry.get("width") == width
+            and entry.get("routing") == routing
+            and abs(entry.get("injection_rate", -1) - rate) < 1e-12
+        ):
+            return entry["vector_speedup"]
+    return None
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0]
+    )
+    parser.add_argument(
+        "fresh",
+        help="freshly produced BENCH_*.json (file, or directory: newest)",
+    )
+    parser.add_argument(
+        "--reference",
+        default=str(Path(__file__).resolve().parent),
+        help=(
+            "committed BENCH_*.json to compare against (file, or "
+            "directory: newest; default: the benchmarks directory)"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    fresh_path = _newest_bench(Path(args.fresh))
+    ref_path = _newest_bench(Path(args.reference))
+    if fresh_path is None or ref_path is None:
+        missing = args.fresh if fresh_path is None else args.reference
+        print(f"error: no BENCH_*.json found at {missing}", file=sys.stderr)
+        return 2
+    fresh = _saturation_speedup(fresh_path)
+    ref = _saturation_speedup(ref_path)
+    if fresh is None or ref is None:
+        where = fresh_path if fresh is None else ref_path
+        print(
+            f"error: {where} has no engine entry for "
+            f"{SATURATION_POINT} (pre-/6 schema without the quick-matrix "
+            f"saturation anchor?)",
+            file=sys.stderr,
+        )
+        return 2
+
+    floor = FLOOR_FRACTION * ref
+    verdict = "ok" if fresh >= floor else "REGRESSION"
+    print(
+        f"saturation vector/skip: fresh {fresh:.3f}x ({fresh_path.name})  "
+        f"committed {ref:.3f}x ({ref_path.name})  floor "
+        f"{floor:.3f}x  {verdict}"
+    )
+    if fresh < floor:
+        print(
+            f"error: vector/skip ratio at saturation fell below "
+            f"{FLOOR_FRACTION:.0%} of the committed benchmark — a "
+            f"vectorized stage has likely regressed to a per-cycle "
+            f"python path",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

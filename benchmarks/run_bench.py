@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Benchmark the simulation engine, the result cache, and the pool layer.
 
-Six measurements, written to ``BENCH_<timestamp>.json``:
+Seven measurements, written to ``BENCH_<timestamp>.json``:
 
 * **engine** — single-simulation cycles/sec for a fixed config matrix,
   comparing four engine modes: ``vector`` (the structure-of-arrays
@@ -15,7 +15,15 @@ Six measurements, written to ``BENCH_<timestamp>.json``:
   reference) and where quiescence-based skipping pays off; entries at
   or below ``ZERO_LOAD_RATE`` form the ``zero_load`` summary bucket.
   ``vector_speedup`` is vector vs skip — the number to watch for the
-  vector core.
+  vector core.  ``--stage-times`` additionally records per-stage wall
+  time of one instrumented vector run per entry (a separate diagnostic
+  run; off by default because the timing wrappers add overhead).
+
+* **auto** — ``engine_mode="auto"`` timed against both engines it
+  arbitrates at the zero-load and saturation anchors, asserting
+  bit-identical results and recording which engine it resolved to;
+  ``auto_speedup`` (auto vs skip) should sit at ~1.0 at zero load and
+  track ``vector_speedup`` at saturation.
 
 * **baseline** — the same matrix timed against the *pre-optimization
   tree*: the repo's root commit is checked out into a temporary git
@@ -105,9 +113,16 @@ ENGINE_MATRIX = (
 QUICK_MATRIX = (
     (8, "footprint", 0.0002),
     (8, "footprint", 0.02),
+    # The saturation anchor: kept in the quick matrix so the CI smoke
+    # can guard the vector/skip ratio where the vector core matters.
+    (8, "footprint", 0.3),
 )
 
 ZERO_LOAD_RATE = 0.0002
+
+#: The saturation point of the engine matrix — the anchor the auto
+#: section and the CI perf-regression smoke key on.
+SATURATION_POINT = (8, "footprint", 0.3)
 
 PARALLEL_RATES = (0.05, 0.1, 0.15, 0.2)
 QUICK_PARALLEL_RATES = (0.05, 0.15)
@@ -194,7 +209,29 @@ def _time_mode(config: SimulationConfig, mode: str, reps: int):
     return best, signature
 
 
-def bench_engine(quick: bool, reps: int) -> dict:
+def _stage_times_us(config: SimulationConfig) -> dict | None:
+    """Per-stage wall time of one instrumented vector run, µs/cycle.
+
+    Instrumentation wraps every stage method in a timing closure, so the
+    run is *not* comparable to the uninstrumented timings above — it is
+    a separate diagnostic run whose absolute numbers carry the wrapper
+    overhead.  Returns ``None`` when the config fell back to ``skip``
+    (scalar engines have no per-stage hook points).
+    """
+    sim = Simulator(config, engine_mode="vector")
+    if sim.engine_mode != "vector":
+        return None
+    sim.collect_stage_times = True
+    result = sim.run()
+    cycles = max(result.cycles_run, 1)
+    assert sim.stage_times is not None
+    return {
+        stage: round(seconds * 1e6 / cycles, 1)
+        for stage, seconds in sim.stage_times.items()
+    }
+
+
+def bench_engine(quick: bool, reps: int, stage_times: bool = False) -> dict:
     matrix = QUICK_MATRIX if quick else ENGINE_MATRIX
     entries = []
     for width, routing, rate in matrix:
@@ -210,25 +247,26 @@ def bench_engine(quick: bool, reps: int) -> dict:
             )
         speedup = skip_cps / legacy_cps
         vector_speedup = vector_cps / skip_cps
-        entries.append(
-            {
-                "width": width,
-                "routing": routing,
-                "injection_rate": rate,
-                "vector_cycles_per_sec": round(vector_cps, 1),
-                "skip_cycles_per_sec": round(skip_cps, 1),
-                "fast_cycles_per_sec": round(fast_cps, 1),
-                "legacy_cycles_per_sec": round(legacy_cps, 1),
-                "speedup": round(speedup, 3),
-                "fast_speedup": round(fast_cps / legacy_cps, 3),
-                "vector_speedup": round(vector_speedup, 3),
-                "results_identical": True,
-                # For the baseline cross-check (signature = cycles_run,
-                # accepted flits, offered flits, ejected, samples).
-                "cycles_run": skip_sig[0],
-                "accepted_flits": skip_sig[1],
-            }
-        )
+        entry = {
+            "width": width,
+            "routing": routing,
+            "injection_rate": rate,
+            "vector_cycles_per_sec": round(vector_cps, 1),
+            "skip_cycles_per_sec": round(skip_cps, 1),
+            "fast_cycles_per_sec": round(fast_cps, 1),
+            "legacy_cycles_per_sec": round(legacy_cps, 1),
+            "speedup": round(speedup, 3),
+            "fast_speedup": round(fast_cps / legacy_cps, 3),
+            "vector_speedup": round(vector_speedup, 3),
+            "results_identical": True,
+            # For the baseline cross-check (signature = cycles_run,
+            # accepted flits, offered flits, ejected, samples).
+            "cycles_run": skip_sig[0],
+            "accepted_flits": skip_sig[1],
+        }
+        if stage_times:
+            entry["stage_times_us_per_cycle"] = _stage_times_us(config)
+        entries.append(entry)
         print(
             f"  {width}x{width} {routing:10s} rate={rate:<7} "
             f"vector={vector_cps:8.0f} skip={skip_cps:8.0f} "
@@ -269,6 +307,76 @@ def bench_engine(quick: bool, reps: int) -> dict:
                 geomean(loaded_vector), 3
             ),
             "max_vector_speedup": round(max(vector_speedups), 3),
+        },
+    }
+
+
+def bench_auto(quick: bool, reps: int) -> dict:
+    """Time ``engine_mode="auto"`` against both engines it arbitrates.
+
+    Two anchor points: the zero-load reference (where idle-skipping wins
+    and ``auto`` must resolve to ``skip``) and the saturation point
+    (where the vector core wins and ``auto`` must resolve to
+    ``vector``).  For each, all three modes are timed and must produce
+    bit-identical signatures; the number to watch is ``auto_speedup``
+    (auto vs skip), which should sit at ~1.0 at zero load and match
+    ``vector_speedup`` at saturation — the "never loses" contract,
+    modulo timing noise.
+    """
+    from repro.sim.engine import (
+        AUTO_ACTIVITY_THRESHOLD,
+        AUTO_THRESHOLD_ENV,
+        resolve_auto_mode,
+    )
+
+    anchors = (
+        (8, "footprint", ZERO_LOAD_RATE, "zero_load"),
+        (*SATURATION_POINT, "saturation"),
+    )
+    entries = []
+    for width, routing, rate, label in anchors:
+        config = _bench_config(width, routing, rate, quick)
+        resolved = resolve_auto_mode(config)
+        # Zero-load runs finish in milliseconds, so single-rep timing is
+        # all jitter; extra best-of reps there are free and keep the
+        # auto-vs-skip comparison (same engine on both sides) honest.
+        anchor_reps = max(reps, 5) if label == "zero_load" else reps
+        auto_cps, auto_sig = _time_mode(config, "auto", anchor_reps)
+        skip_cps, skip_sig = _time_mode(config, "skip", anchor_reps)
+        vector_cps, vector_sig = _time_mode(config, "vector", anchor_reps)
+        if not (auto_sig == skip_sig == vector_sig):
+            raise AssertionError(
+                f"auto/skip/vector results diverge for {width}x{width} "
+                f"{routing} @ {rate}"
+            )
+        entries.append(
+            {
+                "anchor": label,
+                "width": width,
+                "routing": routing,
+                "injection_rate": rate,
+                "resolved_mode": resolved,
+                "auto_cycles_per_sec": round(auto_cps, 1),
+                "skip_cycles_per_sec": round(skip_cps, 1),
+                "vector_cycles_per_sec": round(vector_cps, 1),
+                "auto_speedup": round(auto_cps / skip_cps, 3),
+                "results_identical": True,
+            }
+        )
+        print(
+            f"  {label:10s} {width}x{width} {routing} rate={rate:<7} "
+            f"-> {resolved:6s}  auto={auto_cps:8.0f} skip={skip_cps:8.0f} "
+            f"vector={vector_cps:8.0f} c/s  auto/skip "
+            f"{auto_cps / skip_cps:.2f}x"
+        )
+    return {
+        "reps": reps,
+        "activity_threshold": AUTO_ACTIVITY_THRESHOLD,
+        "threshold_env": AUTO_THRESHOLD_ENV,
+        "matrix": entries,
+        "summary": {
+            e["anchor"] + "_auto_speedup": e["auto_speedup"]
+            for e in entries
         },
     }
 
@@ -545,7 +653,10 @@ def bench_telemetry(quick: bool, reps: int, no_baseline: bool) -> dict:
     simulated results.  The disabled-probe overhead is then measured
     against :data:`PRE_TELEMETRY_REV` in a git worktree (same machinery
     as :func:`bench_baseline`) and must stay under
-    :data:`TELEMETRY_OVERHEAD_BUDGET` geomean.
+    :data:`TELEMETRY_OVERHEAD_BUDGET` geomean.  Both sides of that
+    ratio are timed back-to-back in fresh child processes — reusing the
+    in-process ``off`` timing taken minutes earlier conflates host
+    drift (and the bench process's accumulated heap) with probe cost.
     """
     matrix = QUICK_TELEMETRY_MATRIX if quick else TELEMETRY_MATRIX
     sampling = TelemetryConfig(sample_every=100)
@@ -629,6 +740,7 @@ def bench_telemetry(quick: bool, reps: int, no_baseline: bool) -> dict:
                     quick,
                 )
                 try:
+                    current = _time_in_tree(repo, config, reps)
                     child = _time_in_tree(tree, config, reps)
                 except (
                     subprocess.SubprocessError,
@@ -638,7 +750,10 @@ def bench_telemetry(quick: bool, reps: int, no_baseline: bool) -> dict:
                     print(f"  disabled-probe baseline skipped: ({exc})")
                     out["baseline"] = {"skipped": str(exc)}
                     return out
-                overhead = child["cps"] / entry["off_cycles_per_sec"] - 1
+                overhead = child["cps"] / current["cps"] - 1
+                entry["off_cycles_per_sec_interleaved"] = round(
+                    current["cps"], 1
+                )
                 entry["pre_telemetry_cycles_per_sec"] = round(child["cps"], 1)
                 entry["disabled_probe_overhead"] = round(overhead, 4)
                 overheads.append(overhead)
@@ -682,7 +797,8 @@ def bench_validate(quick: bool, reps: int, no_baseline: bool) -> dict:
     hook overhead — the ``val is None`` attribute checks left in the hot
     path — is then measured against :data:`PRE_VALIDATE_REV` in a git
     worktree and must stay under :data:`VALIDATE_OVERHEAD_BUDGET`
-    geomean.
+    geomean, with both sides timed back-to-back in fresh child
+    processes (see :func:`bench_telemetry`).
     """
     from repro.validate import ValidationConfig
     from repro.validate.differential import result_signature
@@ -772,6 +888,7 @@ def bench_validate(quick: bool, reps: int, no_baseline: bool) -> dict:
                     quick,
                 )
                 try:
+                    current = _time_in_tree(repo, config, reps)
                     child = _time_in_tree(tree, config, reps)
                 except (
                     subprocess.SubprocessError,
@@ -781,7 +898,10 @@ def bench_validate(quick: bool, reps: int, no_baseline: bool) -> dict:
                     print(f"  disabled-hook baseline skipped: ({exc})")
                     out["baseline"] = {"skipped": str(exc)}
                     return out
-                overhead = child["cps"] / entry["off_cycles_per_sec"] - 1
+                overhead = child["cps"] / current["cps"] - 1
+                entry["off_cycles_per_sec_interleaved"] = round(
+                    current["cps"], 1
+                )
                 entry["pre_validate_cycles_per_sec"] = round(child["cps"], 1)
                 entry["disabled_hook_overhead"] = round(overhead, 4)
                 overheads.append(overhead)
@@ -845,6 +965,15 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="skip timing the repo's root commit in a git worktree",
     )
+    parser.add_argument(
+        "--stage-times",
+        action="store_true",
+        help=(
+            "record per-stage wall time of one instrumented vector run "
+            "per engine-matrix entry (separate diagnostic run; off by "
+            "default because the timing wrappers add overhead)"
+        ),
+    )
     args = parser.parse_args(argv)
     if args.reps is not None and args.reps < 1:
         parser.error(f"--reps must be >= 1, got {args.reps}")
@@ -852,7 +981,9 @@ def main(argv: list[str] | None = None) -> int:
 
     print(f"engine: vector vs skip vs fast vs legacy "
           f"({'quick' if args.quick else 'full'} matrix, best of {reps})")
-    engine = bench_engine(args.quick, reps)
+    engine = bench_engine(args.quick, reps, stage_times=args.stage_times)
+    print("auto: per-config engine arbitration at the two anchors")
+    auto = bench_auto(args.quick, reps)
     if args.no_baseline:
         baseline = {"skipped": "--no-baseline"}
     else:
@@ -868,12 +999,13 @@ def main(argv: list[str] | None = None) -> int:
     validate = bench_validate(args.quick, reps, args.no_baseline)
 
     payload = {
-        "schema": "footprint-noc-bench/5",
+        "schema": "footprint-noc-bench/6",
         "timestamp": time.strftime("%Y%m%dT%H%M%S"),
         "quick": args.quick,
         "python": sys.version.split()[0],
         "cpu_count": os.cpu_count(),
         "engine": engine,
+        "auto": auto,
         "baseline": baseline,
         "cache": cache,
         "parallel": parallel,
@@ -897,6 +1029,12 @@ def main(argv: list[str] | None = None) -> int:
         f"{summary['geomean_vector_speedup']}x, loaded geomean "
         f"{summary['loaded_geomean_vector_speedup']}x, "
         f"max {summary['max_vector_speedup']}x"
+    )
+    asum = auto["summary"]
+    print(
+        f"auto vs skip: zero-load "
+        f"{asum['zero_load_auto_speedup']}x, saturation "
+        f"{asum['saturation_auto_speedup']}x"
     )
     if "summary" in baseline:
         bsum = baseline["summary"]

@@ -95,13 +95,15 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=1)
     run.add_argument(
         "--engine-mode",
-        choices=["vector", "skip", "fast", "legacy"],
+        choices=["auto", "vector", "skip", "fast", "legacy"],
         default=None,
         help=(
             "execution engine (default: $REPRO_ENGINE_MODE, else "
             "'skip'); all modes are bit-identical — 'vector' runs the "
             "structure-of-arrays batch core and falls back to 'skip' "
-            "for configs needing per-object hooks (faults, telemetry)"
+            "for configs needing per-object hooks (faults, telemetry); "
+            "'auto' picks vector or skip per config from the offered "
+            "load (threshold: $REPRO_ENGINE_AUTO_THRESHOLD)"
         ),
     )
     run.add_argument(
@@ -648,6 +650,18 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         print(f"pooled re-run: {status}")
         if not report.pool_identical:
             failures += 1
+    fallbacks = report.vector_fallbacks
+    if fallbacks:
+        detail = ", ".join(
+            f"{reason} x{count}"
+            for reason, count in sorted(fallbacks.items())
+        )
+        print(
+            f"vector fallbacks: {sum(fallbacks.values())}/"
+            f"{len(report.entries)} configs ({detail})"
+        )
+    else:
+        print("vector fallbacks: none")
     print(
         f"validate: {len(report.entries) - failures}/{len(report.entries)} "
         f"configurations clean (modes {'/'.join(ENGINE_MODES)} + "

@@ -190,7 +190,10 @@ def run_tasks(
     ``engine_mode`` selects the execution engine for simulated misses
     (``None`` defers to ``$REPRO_ENGINE_MODE``, falling back to
     ``skip``); every mode is bit-identical, so cached results are
-    equally valid for all of them.
+    equally valid for all of them.  ``"auto"`` re-resolves per task —
+    a sweep's loaded points take the vector core while its zero-load
+    references keep idle-skipping, each task getting the engine that
+    wins at its offered load.
 
     When a :class:`~repro.harness.cache.ResultCache` is supplied it is
     consulted per task before simulating; only misses are executed (and

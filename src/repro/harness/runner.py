@@ -24,7 +24,9 @@ def run_simulation(
 
     ``engine_mode`` selects the execution engine (all modes are
     bit-identical); ``None`` defers to ``$REPRO_ENGINE_MODE``, falling
-    back to ``skip``.
+    back to ``skip``.  ``"auto"`` resolves to ``vector`` or ``skip``
+    per config from its offered load (see
+    :func:`repro.sim.engine.resolve_auto_mode`).
     """
     if engine_mode is None:
         engine_mode = engine_mode_from_env()

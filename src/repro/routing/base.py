@@ -196,6 +196,46 @@ class RoutingAlgorithm(abc.ABC):
         The scalar ``vc_requests_at`` is the oracle
         (``tests/property/test_prop_candidate_mask.py``).
 
+        Assembled generically from :meth:`candidate_pri` — subclasses
+        override that compact form, and the vector engine consumes it
+        directly (all non-escape requests target the committed port, so
+        the full ``[batch, NUM_PORTS, num_vcs]`` cube is only needed by
+        the oracle tests).
+        """
+        import numpy as np
+
+        from repro.topology.ports import NUM_PORTS
+
+        batch = len(current)
+        port_pri, esc_cols = self.candidate_pri(
+            state, current, destination, committed
+        )
+        pri = np.full(
+            (batch, NUM_PORTS, state.num_vcs), -1, dtype=np.int8
+        )
+        rows = np.arange(batch)
+        pri[rows, committed] = port_pri
+        if esc_cols is not None:
+            emit = np.flatnonzero(esc_cols >= 0)
+            pri.reshape(batch, -1)[emit, esc_cols[emit]] = np.int8(
+                Priority.LOWEST
+            )
+        return pri
+
+    def candidate_pri(self, state, current, destination, committed):
+        """Compact batched request generation (vector engine hot path).
+
+        Returns ``(port_pri, esc_cols)``: ``port_pri`` is the ``int8``
+        ``[batch, num_vcs]`` request priority of each VC *at the
+        committed port* (``-1`` for no request), and ``esc_cols`` is the
+        flat ``direction * num_vcs + vc`` column of the LOWEST-priority
+        escape request per row (``-1`` when absent), or ``None`` for
+        algorithms without an escape subnetwork.  Escape columns never
+        collide with ``port_pri`` entries (the escape VC is excluded
+        from the adaptive set at transit ports), and no ``port_pri``
+        value is ever LOWEST — so the max-priority request run either
+        lies entirely inside ``port_pri`` or is the lone escape entry.
+
         This default implements the oblivious policy shared by DOR,
         Odd-Even, and DBAR (+ the ejection requests every algorithm
         uses): all idle adaptive VCs at the committed port at LOW, plus
@@ -206,46 +246,39 @@ class RoutingAlgorithm(abc.ABC):
 
         from repro.topology.ports import NUM_PORTS
 
-        batch = len(current)
-        pri = np.full(
-            (batch, NUM_PORTS, state.num_vcs), -1, dtype=np.int8
-        )
         g = current * NUM_PORTS + committed
         idle = state.adaptive[g] & ~state.busy[g]
-        rows = np.arange(batch)
-        pri[rows, committed] = np.where(
-            idle, np.int8(Priority.LOW), np.int8(-1)
-        )
-        if self.uses_escape:
-            self._apply_escape_mask(state, current, destination, committed, pri)
-        return pri
+        port_pri = np.where(idle, np.int8(Priority.LOW), np.int8(-1))
+        esc_cols = self._escape_cols(state, current, destination, committed)
+        return port_pri, esc_cols
 
-    def _apply_escape_mask(
-        self, state, current, destination, committed, pri, suppress=None
-    ) -> None:
-        """Write the LOWEST-priority escape requests into ``pri`` in place.
+    def _escape_cols(
+        self, state, current, destination, committed, suppress=None
+    ):
+        """Flat column of each row's LOWEST-priority escape request.
 
         Mirrors :meth:`escape_request`: one request for the escape VC at
         the DOR port, emitted only when that VC is currently grantable
         and the packet is not ejecting.  ``suppress`` masks rows that
         must not request the escape VC (Footprint's waiting-on-footprint
-        rule).
+        rule).  Returns ``None`` when the algorithm has no escape VC,
+        else an int array with ``-1`` for rows without the request.
         """
         import numpy as np
 
         from repro.topology.ports import NUM_PORTS
 
         escape = state.escape_vc
-        if escape is None:
-            return
+        if not self.uses_escape or escape is None:
+            return None
         eligible = committed != int(Direction.LOCAL)
         if suppress is not None:
             eligible = eligible & ~suppress
         dor = state.dor_directions(current, destination)
         grantable = ~state.busy[current * NUM_PORTS + dor, escape]
-        emit = eligible & grantable
-        rows = np.nonzero(emit)[0]
-        pri[rows, dor[rows], escape] = np.int8(Priority.LOWEST)
+        return np.where(
+            eligible & grantable, dor * state.num_vcs + escape, -1
+        )
 
     # ------------------------------------------------------------------
     # Shared helpers

@@ -61,6 +61,8 @@ class VcStateArrays:
     fresh: np.ndarray
     owner: np.ndarray
     adaptive: np.ndarray
+    #: Lazily built ``[src * num_nodes + dst]`` DOR-direction table.
+    _dor_table: "np.ndarray | None" = None
 
     @property
     def num_nodes(self) -> int:
@@ -135,8 +137,26 @@ class VcStateArrays:
         """Vectorized :meth:`Mesh2D.dor_direction` over node-id arrays.
 
         X is fully resolved before Y, ``LOCAL`` at the destination —
-        bit-identical to the scalar mesh query.
+        bit-identical to the scalar mesh query.  For small meshes the
+        full ``[src, dst]`` table is built once and subsequent calls are
+        a single gather (the per-cycle batches are tiny, so the ~15
+        numpy calls of the direct computation would dominate).
         """
+        n = self.num_nodes
+        if n * n <= (1 << 20):
+            table = self._dor_table
+            if table is None:
+                nodes = np.arange(n)
+                table = self._compute_dor(
+                    np.repeat(nodes, n), np.tile(nodes, n)
+                )
+                self._dor_table = table
+            return table[current * n + destination]
+        return self._compute_dor(current, destination)
+
+    def _compute_dor(
+        self, current: np.ndarray, destination: np.ndarray
+    ) -> np.ndarray:
         width = self.width
         cx = current % width
         cy = current // width
@@ -150,3 +170,139 @@ class VcStateArrays:
         out[dx < cx] = int(Direction.WEST)
         out[dx > cx] = int(Direction.EAST)
         return out
+
+
+#: ``_WINNER_TABLES[V]`` is the flattened ``[mask * V + ptr]`` lookup of
+#: the first set bit of ``mask`` at or after ``ptr`` cyclically (``-1``
+#: when ``mask == 0``) — the round-robin arbiter scan as one gather.
+_WINNER_TABLES: "dict[int, np.ndarray]" = {}
+
+
+def _winner_table(num_vcs: int) -> np.ndarray:
+    table = _WINNER_TABLES.get(num_vcs)
+    if table is None:
+        table = np.full((1 << num_vcs) * num_vcs, -1, dtype=np.int64)
+        for mask in range(1 << num_vcs):
+            for ptr in range(num_vcs):
+                for k in range(num_vcs):
+                    v = (ptr + k) % num_vcs
+                    if (mask >> v) & 1:
+                        table[mask * num_vcs + ptr] = v
+                        break
+        _WINNER_TABLES[num_vcs] = table
+    return table
+
+
+def switch_grants(
+    ready: np.ndarray,
+    out_flat: np.ndarray,
+    credits: np.ndarray,
+    port_open: np.ndarray,
+    arb_ptr: np.ndarray,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Batched switch allocation: first eligible VC per input port.
+
+    Vectorized replica of the scalar router's ``_pick_sa_winner`` scan,
+    evaluated for every input port at once against a start-of-stage
+    snapshot: an input VC is *eligible* when it is ready (``ready`` —
+    buffered flit whose packet holds an output VC), its granted output
+    VC has a downstream credit, and the granted output port can still
+    accept a flit this cycle (``port_open``, the scalar
+    ``accept_capacity() > 0``).  Per input port the winner is the first
+    eligible VC at or after the port's round-robin pointer, exactly the
+    scalar rotated-mask scan.
+
+    Shapes (``G`` input ports, ``V`` VCs per port): ``ready`` bool
+    ``[G, V]``; ``out_flat`` int64 ``[G * V]`` holding the flat granted
+    output VC id ``g_out * V + v_out`` (or ``-1`` when none, only read
+    where ``ready``); ``credits`` int64 ``[G_out * V]``; ``port_open``
+    bool ``[G_out]``; ``arb_ptr`` int64 ``[G]``.
+
+    Returns ``(gs, vs)``: granting input ports (ascending) and their
+    winning VC index.  The snapshot ignores same-cycle capacity
+    consumption, so a multi-granted output port can exceed its accept
+    capacity — callers must detect that and fall back to the scalar
+    scan for the affected node (the vector engine's conflict fallback).
+    """
+    num_vcs = ready.shape[1]
+    safe = np.maximum(out_flat, 0)
+    if num_vcs & (num_vcs - 1) == 0:
+        out_port = safe >> (num_vcs.bit_length() - 1)
+    else:
+        out_port = safe // num_vcs
+    ok = (credits[safe] > 0) & port_open[out_port]
+    elig = ready & ok.reshape(ready.shape)
+    if num_vcs <= 8:
+        # Pack each port's eligibility into a bitmask and resolve the
+        # rotated scan with one precomputed-table gather.
+        masks = np.packbits(elig, axis=1, bitorder="little")[:, 0]
+        # uint8 masks would wrap at ``* num_vcs``; promote first.
+        win = _winner_table(num_vcs)[
+            masks.astype(np.int64) * num_vcs + arb_ptr
+        ]
+        gs = np.flatnonzero(win >= 0)
+        return gs, win[gs]
+    # Rank each VC by its distance from the pointer; the per-port winner
+    # is the minimum-rank eligible VC (rank V == ineligible sentinel).
+    rank = (np.arange(num_vcs) - arb_ptr[:, None]) % num_vcs
+    rank[~elig] = num_vcs
+    rmin = rank.min(axis=1)
+    gs = np.flatnonzero(rmin < num_vcs)
+    vs = (rmin[gs] + arb_ptr[gs]) % num_vcs
+    return gs, vs
+
+
+@dataclass
+class SwitchStateArrays:
+    """Dense snapshot of scalar per-router switch-allocation state.
+
+    The oracle-test counterpart of :class:`VcStateArrays` for stage 5:
+    :meth:`capture` flattens scalar :class:`~repro.router.router.Router`
+    input-VC/output-port state into exactly the arrays
+    :func:`switch_grants` consumes, so batched grants can be compared
+    against ``Router._pick_sa_winner`` on identical state.
+    """
+
+    num_vcs: int
+    ready: np.ndarray
+    out_flat: np.ndarray
+    credits: np.ndarray
+    port_open: np.ndarray
+    arb_ptr: np.ndarray
+
+    @classmethod
+    def capture(cls, routers, num_vcs: int) -> "SwitchStateArrays":
+        """Snapshot ``routers`` (ascending node order, one per node)."""
+        from repro.router.vcstate import VcState
+
+        size = len(routers) * NUM_PORTS
+        ready = np.zeros((size, num_vcs), dtype=bool)
+        out_flat = np.full(size * num_vcs, -1, dtype=np.int64)
+        credits = np.zeros(size * num_vcs, dtype=np.int64)
+        port_open = np.zeros(size, dtype=bool)
+        arb_ptr = np.zeros(size, dtype=np.int64)
+        for router in routers:
+            base = router.node * NUM_PORTS
+            for direction, port in router.output_ports.items():
+                g = base + int(direction)
+                credits[g * num_vcs : (g + 1) * num_vcs] = port.credits
+                port_open[g] = port.accept_capacity() > 0
+            for direction, vcs in router.input_vcs.items():
+                g = base + int(direction)
+                arb_ptr[g] = router._vc_arbiters[direction]._pointer
+                for v, ivc in enumerate(vcs):
+                    if ivc.fifo and ivc.state is VcState.ACTIVE:
+                        ready[g, v] = True
+                        out_flat[g * num_vcs + v] = (
+                            base + int(ivc.out_direction)
+                        ) * num_vcs + ivc.out_vc
+        return cls(
+            num_vcs=num_vcs,
+            ready=ready,
+            out_flat=out_flat,
+            credits=credits,
+            port_open=port_open,
+            arb_ptr=arb_ptr,
+        )
+
+

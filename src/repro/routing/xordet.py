@@ -85,7 +85,7 @@ class XordetOverlay(RoutingAlgorithm):
             requests.extend(self.escape_request(ctx))
         return requests
 
-    def candidate_mask(self, state, current, destination, committed):
+    def candidate_pri(self, state, current, destination, committed):
         """Batched XORDET: each packet requests only its mapped VC.
 
         The destination→VC map is pure, so it is precomputed per
@@ -98,7 +98,6 @@ class XordetOverlay(RoutingAlgorithm):
 
         batch = len(current)
         num_vcs = state.num_vcs
-        pri = np.full((batch, NUM_PORTS, num_vcs), -1, dtype=np.int8)
         g = current * NUM_PORTS + committed
         rows = np.arange(batch)
         low = np.int8(Priority.LOW)
@@ -114,10 +113,8 @@ class XordetOverlay(RoutingAlgorithm):
             np.where(idle, low, none),
             np.where(selected & ~state.busy[g], low, none),
         )
-        pri[rows, committed] = port_pri
-        if self.uses_escape:
-            self._apply_escape_mask(state, current, destination, committed, pri)
-        return pri
+        esc_cols = self._escape_cols(state, current, destination, committed)
+        return port_pri, esc_cols
 
     def _xordet_table(self, state):
         """Per-destination mapped VC (adaptive VC list indexing), cached."""

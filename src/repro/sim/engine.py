@@ -48,6 +48,13 @@ exact cycle, and the lookahead machinery in
 exactly as per-cycle generation would — results stay bit-identical to
 both other modes.
 
+Engine selection: ``engine_mode="auto"`` resolves to ``"vector"`` or
+``"skip"`` per config before construction, from the offered load
+against a calibrated activity threshold (see :func:`resolve_auto_mode`)
+— the vector core wins on loaded runs, idle-skipping wins on quiescent
+ones, and since both are bit-identical the pick can never change a
+result, only its wall-clock.
+
 Fault injection: when the configuration carries a non-empty
 :class:`~repro.faults.schedule.FaultSchedule`, the engine consults a
 :class:`~repro.faults.manager.FaultManager` each cycle.  The fault model
@@ -105,15 +112,58 @@ DEADLOCK_WINDOW = 5000
 #: stale on-disk entries invalidate themselves on upgrade.
 ENGINE_VERSION = 4
 
-#: Recognized values for ``Simulator(engine_mode=...)``.  All four modes
-#: are bit-identical on the configs they support; ``vector`` additionally
-#: falls back to ``skip`` (with a logged notice) on configs that need
-#: per-object observability hooks.
-ENGINE_MODES = ("vector", "skip", "fast", "legacy")
+#: Recognized values for ``Simulator(engine_mode=...)``.  The four
+#: concrete modes are bit-identical on the configs they support;
+#: ``vector`` additionally falls back to ``skip`` (with a logged notice)
+#: on configs that need per-object observability hooks, and ``auto``
+#: resolves to ``vector`` or ``skip`` per config before construction
+#: (see :func:`resolve_auto_mode`), so it inherits both guarantees.
+ENGINE_MODES = ("auto", "vector", "skip", "fast", "legacy")
 
 #: Environment variable consulted for the default engine mode by the CLI
 #: and harness entry points (see :func:`engine_mode_from_env`).
 ENGINE_MODE_ENV = "REPRO_ENGINE_MODE"
+
+#: Environment variable overriding the ``auto`` activity threshold.
+AUTO_THRESHOLD_ENV = "REPRO_ENGINE_AUTO_THRESHOLD"
+
+#: Offered load — expected injected flits per cycle across the whole
+#: network (``injection_rate * num_nodes``) — at or above which ``auto``
+#: picks the vector engine.  Calibrated from the benchmark engine
+#: matrix: the vector core amortizes numpy batch overhead over the
+#: number of concurrently-routing packets, so it loses to idle-skipping
+#: on (near-)quiescent runs and wins on loaded ones; the measured
+#: crossover sits right around 3 flits/cycle (8x8 @ 0.05 times at
+#: parity, 0.02 below favors ``skip``, 16x16 @ 0.05 = 12.8 flits/cycle
+#: favors ``vector`` by ~1.6x).  Placing the threshold *at* the
+#: break-even point means a wrong pick near the boundary costs ~nothing,
+#: while both asymptotes get their winning engine.
+AUTO_ACTIVITY_THRESHOLD = 3.0
+
+
+def resolve_auto_mode(config: SimulationConfig) -> str:
+    """Resolve ``engine_mode="auto"`` to ``"vector"`` or ``"skip"``.
+
+    The decision is a pure function of the config's offered load:
+    ``injection_rate * num_nodes`` (expected injected flits per cycle)
+    against :data:`AUTO_ACTIVITY_THRESHOLD`, overridable via
+    ``$REPRO_ENGINE_AUTO_THRESHOLD``.  Both candidate engines are
+    bit-identical, so the pick affects wall-clock only — never results.
+    Raises :class:`ConfigurationError` on a malformed override so typos
+    fail loudly.
+    """
+    raw = os.environ.get(AUTO_THRESHOLD_ENV, "").strip()
+    if raw:
+        try:
+            threshold = float(raw)
+        except ValueError:
+            raise ConfigurationError(
+                f"${AUTO_THRESHOLD_ENV}={raw!r} is not a number"
+            ) from None
+    else:
+        threshold = AUTO_ACTIVITY_THRESHOLD
+    activity = config.injection_rate * config.num_nodes
+    return "vector" if activity >= threshold else "skip"
 
 
 def engine_mode_from_env(default: str = "skip") -> str:
@@ -149,6 +199,12 @@ class Simulator:
             raise ValueError(f"unknown engine mode {engine_mode!r}")
         #: The mode the caller asked for, before any fallback.
         self.requested_engine_mode = engine_mode
+        #: What ``auto`` resolved to for this config (``None`` when the
+        #: caller named a concrete mode).
+        self.auto_resolved: str | None = None
+        if engine_mode == "auto":
+            engine_mode = resolve_auto_mode(config)
+            self.auto_resolved = engine_mode
         #: Why a requested ``vector`` run degraded to ``skip`` (``None``
         #: when it did not).  Surfaced by the differential harness and
         #: the CLI so fallbacks are explicit, never silent.
@@ -217,6 +273,13 @@ class Simulator:
         #: progress (unreachable destinations) — :meth:`run` then stops
         #: gracefully instead of raising a deadlock error.
         self.stalled = False
+
+        #: When set before :meth:`run`, the vector engine accumulates
+        #: per-stage wall time into :attr:`stage_times` (benchmark
+        #: harness ``--stage-times``; scalar engines have no per-stage
+        #: hook points and leave it ``None``).
+        self.collect_stage_times = False
+        self.stage_times: "dict[str, float] | None" = None
 
         self.cycle = 0
         self._last_progress_cycle = 0
@@ -700,7 +763,10 @@ class Simulator:
     def run(self) -> SimulationResult:
         """Run warm-up, measurement, and drain; return the result."""
         if self.engine_mode == "vector":
-            return self._vector_engine_cls(self).run()
+            engine = self._vector_engine_cls(self)
+            if self.collect_stage_times:
+                self.stage_times = engine.enable_stage_times()
+            return engine.run()
         limit = self.config.max_cycles
         measure_start = self._measure_start
         measure_end = self._measure_end

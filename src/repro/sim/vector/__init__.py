@@ -38,14 +38,18 @@ def vector_unsupported_reason(
     invariant checkers all inspect scalar router internals that the flat
     state deliberately does not materialize.  Such runs fall back to the
     bit-identical ``skip`` engine instead of erroring.
+
+    Each reason names the configuration field that forced the fallback
+    (``config.faults: active fault schedule``) so a notice in a log or
+    a differential-sweep report points straight at the knob to change.
     """
     if config.faults is not None and config.faults.events:
-        return "active fault schedule"
+        return "config.faults: active fault schedule"
     telemetry = config.telemetry
     if telemetry is not None and telemetry.active:
-        return "active telemetry/tracing"
+        return "config.telemetry: active telemetry/tracing"
     if config.track_utilization:
-        return "channel-utilization tracking"
+        return "config.track_utilization: channel-utilization tracking"
     if validation is not None and validation.active:
-        return "invariant validation hooks"
+        return "validation: invariant validation hooks"
     return None

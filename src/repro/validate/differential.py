@@ -163,6 +163,22 @@ class DifferentialReport:
             self.pool_identical is not False
         )
 
+    @property
+    def vector_fallbacks(self) -> dict[str, int]:
+        """Count of vector→skip fallbacks per reason across the sweep.
+
+        Each reason names the config field that forced the fallback;
+        the CLI prints the aggregate so a sweep that never exercised
+        the vector core is visible at a glance.
+        """
+        counts: dict[str, int] = {}
+        for entry in self.entries:
+            if entry.vector_fallback:
+                counts[entry.vector_fallback] = (
+                    counts.get(entry.vector_fallback, 0) + 1
+                )
+        return counts
+
 
 def run_differential(
     configs: list[SimulationConfig],

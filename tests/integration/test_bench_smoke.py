@@ -28,7 +28,7 @@ def test_quick_bench_writes_report(run_bench, tmp_path):
     assert len(reports) == 1
     payload = json.loads(reports[0].read_text())
 
-    assert payload["schema"] == "footprint-noc-bench/5"
+    assert payload["schema"] == "footprint-noc-bench/6"
     assert payload["quick"] is True
 
     engine = payload["engine"]
@@ -44,6 +44,18 @@ def test_quick_bench_writes_report(run_bench, tmp_path):
     assert engine["summary"]["zero_load_geomean_speedup"] > 0
     assert engine["summary"]["geomean_vector_speedup"] > 0
     assert engine["summary"]["loaded_geomean_vector_speedup"] > 0
+
+    auto = payload["auto"]
+    assert auto["activity_threshold"] > 0
+    assert {e["anchor"] for e in auto["matrix"]} == {
+        "zero_load",
+        "saturation",
+    }
+    for entry in auto["matrix"]:
+        assert entry["results_identical"] is True
+        assert entry["resolved_mode"] in ("vector", "skip")
+        assert entry["auto_speedup"] > 0
+        assert entry["auto_cycles_per_sec"] > 0
 
     assert payload["baseline"] == {"skipped": "--no-baseline"}
 

@@ -17,9 +17,11 @@ from repro.harness.parallel import SimTask, run_tasks
 from repro.harness.runner import run_simulation
 from repro.sim.config import SimulationConfig
 from repro.sim.engine import (
+    AUTO_THRESHOLD_ENV,
     ENGINE_MODE_ENV,
     Simulator,
     engine_mode_from_env,
+    resolve_auto_mode,
 )
 from repro.telemetry import TelemetryConfig
 from repro.traffic.trace import TraceEvent
@@ -121,7 +123,7 @@ class TestFallback:
         config = _config(faults=faults)
         sim = Simulator(config, engine_mode="vector")
         assert sim.engine_mode == "skip"
-        assert sim.vector_fallback == "active fault schedule"
+        assert sim.vector_fallback == "config.faults: active fault schedule"
         # The fallback run is exactly the skip run.
         assert result_signature(sim.run()) == result_signature(
             Simulator(config, engine_mode="skip").run()
@@ -133,24 +135,79 @@ class TestFallback:
             engine_mode="vector",
         )
         assert sim.engine_mode == "skip"
-        assert sim.vector_fallback == "active telemetry/tracing"
+        assert (
+            sim.vector_fallback == "config.telemetry: active telemetry/tracing"
+        )
 
     def test_utilization_tracking_falls_back(self):
         sim = Simulator(_config(track_utilization=True), engine_mode="vector")
         assert sim.engine_mode == "skip"
-        assert sim.vector_fallback == "channel-utilization tracking"
+        assert sim.vector_fallback == (
+            "config.track_utilization: channel-utilization tracking"
+        )
 
     def test_validation_hooks_fall_back(self):
         sim = Simulator(
             _config(), engine_mode="vector", validation=ValidationConfig()
         )
         assert sim.engine_mode == "skip"
-        assert sim.vector_fallback == "invariant validation hooks"
+        assert sim.vector_fallback == "validation: invariant validation hooks"
 
     def test_other_modes_never_record_fallback(self):
         faults = random_link_faults(4, k=1, cycle=20, duration=60, seed=3)
         sim = Simulator(_config(faults=faults), engine_mode="skip")
         assert sim.vector_fallback is None
+
+
+class TestAutoMode:
+    """``auto`` resolves to vector or skip per config, never changing
+    results."""
+
+    def test_loaded_config_resolves_to_vector(self):
+        # 4x4 @ 0.25 offers 4 flits/cycle — above the 3.0 threshold.
+        sim = Simulator(_config(injection_rate=0.25), engine_mode="auto")
+        assert sim.requested_engine_mode == "auto"
+        assert sim.auto_resolved == "vector"
+        assert sim.engine_mode == "vector"
+
+    def test_quiescent_config_resolves_to_skip(self):
+        sim = Simulator(_config(injection_rate=0.001), engine_mode="auto")
+        assert sim.auto_resolved == "skip"
+        assert sim.engine_mode == "skip"
+
+    def test_auto_matches_skip_either_side_of_threshold(self):
+        for rate in (0.001, 0.25):
+            assert _sig("auto", injection_rate=rate) == _sig(
+                "skip", injection_rate=rate
+            )
+
+    def test_auto_inherits_vector_fallback(self):
+        sim = Simulator(
+            _config(injection_rate=0.25, track_utilization=True),
+            engine_mode="auto",
+        )
+        assert sim.auto_resolved == "vector"
+        assert sim.engine_mode == "skip"
+        assert sim.vector_fallback is not None
+
+    def test_threshold_env_override(self, monkeypatch):
+        config = _config(injection_rate=0.25)
+        monkeypatch.setenv(AUTO_THRESHOLD_ENV, "100")
+        assert resolve_auto_mode(config) == "skip"
+        monkeypatch.setenv(AUTO_THRESHOLD_ENV, "0")
+        assert resolve_auto_mode(config) == "vector"
+
+    def test_garbage_threshold_fails_loudly(self, monkeypatch):
+        monkeypatch.setenv(AUTO_THRESHOLD_ENV, "fast-please")
+        with pytest.raises(ConfigurationError):
+            resolve_auto_mode(_config())
+
+    def test_concrete_modes_record_no_auto_choice(self):
+        assert Simulator(_config(), engine_mode="skip").auto_resolved is None
+
+    def test_env_selects_auto(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_MODE_ENV, "auto")
+        assert engine_mode_from_env() == "auto"
 
 
 class TestEngineModeEnv:
