@@ -1,0 +1,189 @@
+#!/usr/bin/env python
+"""CI guard: the experiment service dedupes and shuts down cleanly.
+
+Boots ``repro serve`` as a real subprocess on an ephemeral port, then
+drives it over the JSON-lines socket the way concurrent figure drivers
+would:
+
+1. submit a tiny grid on one stream and wait for it — every task must
+   simulate once;
+2. resubmit the identical grid on a *different* stream — it must dedupe
+   to the same job with zero new simulations;
+3. submit an overlapping grid — the shared task must be answered by the
+   cache/in-flight table, never re-run;
+4. ask for the leaderboard — the finished jobs must have been ingested;
+5. send ``shutdown`` — the server process must exit 0 promptly.
+
+Exit 0 on pass, 1 on a semantic failure, 2 when the server cannot be
+started at all.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_service.py [--keep-state]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.harness.parallel import SimTask  # noqa: E402
+from repro.service.client import ServiceClient  # noqa: E402
+from repro.sim.config import SimulationConfig  # noqa: E402
+
+#: How long to wait for the server to report its port / to exit.
+STARTUP_TIMEOUT = 60.0
+SHUTDOWN_TIMEOUT = 60.0
+
+_LISTENING = re.compile(r"listening on ([\d.]+):(\d+)")
+
+
+def _tiny_task(seed: int) -> SimTask:
+    return SimTask(
+        SimulationConfig(
+            width=4,
+            num_vcs=4,
+            routing="footprint",
+            injection_rate=0.05,
+            warmup_cycles=10,
+            measure_cycles=30,
+            drain_cycles=120,
+            seed=seed,
+        )
+    )
+
+
+def _fail(message: str, code: int = 1) -> int:
+    print(f"check_service: FAIL - {message}")
+    return code
+
+
+def _drive(client: ServiceClient) -> int:
+    """The submit/dedup/leaderboard conversation; 0 on success."""
+    client.ping()
+
+    grid = [_tiny_task(1), _tiny_task(2)]
+    first = client.submit_tasks("ci-grid", grid, stream="ci-a")
+    summary = client.wait(first["job_id"], timeout=STARTUP_TIMEOUT)
+    if summary["state"] != "done":
+        return _fail(f"first grid ended {summary['state']}")
+    if summary["counts"]["simulated"] != 2:
+        return _fail(f"expected 2 simulations, got {summary['counts']}")
+    print(f"  job {first['job_id']}: 2 tasks simulated")
+
+    again = client.submit_tasks("ci-grid-again", grid, stream="ci-b")
+    if not again["deduped"] or again["job_id"] != first["job_id"]:
+        return _fail(f"identical grid was not deduped: {again}")
+    print(f"  resubmission deduped to {again['job_id']}")
+
+    overlap = client.submit_tasks(
+        "ci-overlap", [_tiny_task(2), _tiny_task(3)], stream="ci-b"
+    )
+    summary = client.wait(overlap["job_id"], timeout=STARTUP_TIMEOUT)
+    counts = summary["counts"]
+    if summary["state"] != "done" or counts["simulated"] != 1:
+        return _fail(f"overlap grid should simulate once, got {counts}")
+    if counts["cached"] + counts["shared"] != 1:
+        return _fail(f"overlapping task was not deduped: {counts}")
+    print(
+        f"  overlap job: 1 simulated, 1 "
+        f"{'cached' if counts['cached'] else 'shared'}"
+    )
+
+    totals = client.ping()["totals"]
+    if totals["simulated"] != 3:
+        return _fail(f"expected 3 total simulations, got {totals}")
+
+    board = client.leaderboard()
+    if "scenario:" not in board["text"]:
+        return _fail("leaderboard has no standings after two done jobs")
+    print("  leaderboard ingested both jobs")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--keep-state",
+        action="store_true",
+        help="leave the scratch state dir behind for inspection",
+    )
+    args = parser.parse_args(argv)
+
+    state_root = tempfile.mkdtemp(prefix="check-service-")
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--port",
+            "0",
+            "--state-dir",
+            state_root,
+            "--jobs",
+            "1",
+        ],
+        cwd=REPO,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env={**os.environ, "PYTHONPATH": str(REPO / "src")},
+    )
+    try:
+        deadline = time.monotonic() + STARTUP_TIMEOUT
+        port = None
+        while time.monotonic() < deadline:
+            line = proc.stdout.readline()
+            if not line:
+                break
+            print(f"  server: {line.rstrip()}")
+            match = _LISTENING.search(line)
+            if match:
+                port = int(match.group(2))
+                break
+        if port is None:
+            proc.kill()
+            return _fail("server never reported a listening port", 2)
+
+        client = ServiceClient("127.0.0.1", port, timeout=STARTUP_TIMEOUT)
+        code = _drive(client)
+
+        client.shutdown()
+        try:
+            proc.wait(timeout=SHUTDOWN_TIMEOUT)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            return _fail("server did not exit after shutdown verb")
+        tail = proc.stdout.read()
+        if tail:
+            for line in tail.rstrip().splitlines():
+                print(f"  server: {line}")
+        if proc.returncode != 0:
+            return _fail(
+                f"server exited {proc.returncode} after shutdown"
+            )
+        if code == 0:
+            print("check_service: PASS - dedup held and shutdown was clean")
+        return code
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+        if not args.keep_state:
+            shutil.rmtree(state_root, ignore_errors=True)
+        else:
+            print(f"  state kept at {state_root}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

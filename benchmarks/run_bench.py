@@ -50,19 +50,24 @@ Seven measurements, written to ``BENCH_<timestamp>.json``:
   telemetry off (no hub, the ``tel is None`` fast path), with sampling
   on, and with full flit tracing on; simulated results must be
   bit-identical in all three.  The matrix is also timed against the
-  last pre-telemetry commit in a git worktree, and the run **asserts**
-  that the disabled-probe overhead vs that tree stays under
-  ``TELEMETRY_OVERHEAD_BUDGET`` (2%) geomean.  The worktree comparison
-  is skipped (with a note) under ``--no-baseline`` or when git is
-  unavailable.
+  *overhead baseline* — by default ``HEAD``, i.e. the previous PR's
+  tip, checked out into a git worktree — and the run **asserts** that
+  the working tree's disabled-probe overhead vs that tree stays under
+  ``TELEMETRY_OVERHEAD_BUDGET`` (2%) geomean.  This is a **per-PR
+  delta** gate: each PR may add at most the budget on top of the tree
+  it grew from (fixed historical revisions would instead accumulate
+  every PR's cost and eventually exceed any budget).
+  ``--overhead-baseline-rev`` re-aims the gate (e.g. at a merge base);
+  the comparison is skipped (with a note) under ``--no-baseline`` or
+  when git is unavailable.
 
 * **validate** — the cost of runtime invariant checking.  Each config is
   timed with validation off (the ``val is None`` fast path) and with
   every checker of :mod:`repro.validate` on; simulated results must be
-  bit-identical in both.  The matrix is also timed against the last
-  pre-validation commit in a git worktree, and the run **asserts** that
-  the disabled-hook overhead vs that tree stays under
-  ``VALIDATE_OVERHEAD_BUDGET`` (2%) geomean.  Skipped notes as above.
+  bit-identical in both.  The matrix is also timed against the same
+  per-PR overhead baseline, and the run **asserts** that the
+  disabled-hook overhead stays under ``VALIDATE_OVERHEAD_BUDGET`` (2%)
+  geomean.  Skipped notes as above.
 
 Usage::
 
@@ -142,12 +147,16 @@ QUICK_TELEMETRY_MATRIX = (
     (8, "footprint", 0.02),
 )
 
-#: Last commit before the telemetry subsystem landed — the reference for
-#: what the disabled probes cost the hot path.
-PRE_TELEMETRY_REV = "12e9f12bc11bb6b54bfa938799d66ed5e37e618e"
+#: Default revision the overhead gates compare against: the committed
+#: tip the working tree grew from.  The gates measure the *per-PR*
+#: cost delta, not the total since some fixed historical commit —
+#: fixed anchors accumulate every intervening PR's cost and eventually
+#: bust any budget regardless of what the current change did.
+#: ``--overhead-baseline-rev`` overrides (e.g. with a merge base).
+OVERHEAD_BASELINE_REV = "HEAD"
 
 #: Maximum acceptable geomean slowdown of a telemetry-off run vs the
-#: pre-telemetry tree (fraction; 0.02 = 2%).
+#: overhead-baseline tree (fraction; 0.02 = 2%).
 TELEMETRY_OVERHEAD_BUDGET = 0.02
 
 #: Configs timed with invariant validation off vs all checkers on.  Same
@@ -163,12 +172,8 @@ QUICK_VALIDATE_MATRIX = (
     (8, "footprint", 0.02),
 )
 
-#: Last commit before the validation subsystem landed — the reference for
-#: what the disabled (``val is None``) checker hooks cost the hot path.
-PRE_VALIDATE_REV = "688b487f9e2cb899de3104a6c79f33870fbd6d55"
-
 #: Maximum acceptable geomean slowdown of a validation-off run vs the
-#: pre-validation tree (fraction; 0.02 = 2%).
+#: overhead-baseline tree (fraction; 0.02 = 2%).
 VALIDATE_OVERHEAD_BUDGET = 0.02
 
 
@@ -646,17 +651,45 @@ def _geomean(values):
     return math.exp(sum(math.log(v) for v in values) / len(values))
 
 
-def bench_telemetry(quick: bool, reps: int, no_baseline: bool) -> dict:
+def _resolve_rev(repo: Path, rev: str) -> str | None:
+    """Resolve ``rev`` to a commit sha, or ``None`` when git cannot.
+
+    The overhead gates record the resolved sha (not the symbolic name)
+    so a stored payload pins exactly which tree it was measured
+    against even after the branch moves.
+    """
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--verify", f"{rev}^{{commit}}"],
+            capture_output=True,
+            text=True,
+            cwd=repo,
+            check=True,
+            timeout=30,
+        )
+    except (subprocess.SubprocessError, OSError):
+        return None
+    return proc.stdout.strip() or None
+
+
+def bench_telemetry(
+    quick: bool,
+    reps: int,
+    no_baseline: bool,
+    baseline_rev: str = OVERHEAD_BASELINE_REV,
+) -> dict:
     """Time telemetry off / sampling / tracing; bound the disabled cost.
 
     The off/on comparison runs in-tree and asserts bit-identical
     simulated results.  The disabled-probe overhead is then measured
-    against :data:`PRE_TELEMETRY_REV` in a git worktree (same machinery
-    as :func:`bench_baseline`) and must stay under
-    :data:`TELEMETRY_OVERHEAD_BUDGET` geomean.  Both sides of that
-    ratio are timed back-to-back in fresh child processes — reusing the
-    in-process ``off`` timing taken minutes earlier conflates host
-    drift (and the bench process's accumulated heap) with probe cost.
+    against ``baseline_rev`` (default :data:`OVERHEAD_BASELINE_REV` =
+    ``HEAD``, the tree this change grew from) in a git worktree — the
+    same machinery as :func:`bench_baseline` — and the **per-PR delta**
+    must stay under :data:`TELEMETRY_OVERHEAD_BUDGET` geomean.  Both
+    sides of that ratio are timed back-to-back in fresh child
+    processes — reusing the in-process ``off`` timing taken minutes
+    earlier conflates host drift (and the bench process's accumulated
+    heap) with probe cost.
     """
     matrix = QUICK_TELEMETRY_MATRIX if quick else TELEMETRY_MATRIX
     sampling = TelemetryConfig(sample_every=100)
@@ -714,12 +747,20 @@ def bench_telemetry(quick: bool, reps: int, no_baseline: bool) -> dict:
         out["baseline"] = {"skipped": "--no-baseline"}
         return out
     repo = Path(__file__).resolve().parent.parent
+    resolved = _resolve_rev(repo, baseline_rev)
+    if resolved is None:
+        print(
+            f"  disabled-probe baseline skipped: "
+            f"cannot resolve {baseline_rev!r}"
+        )
+        out["baseline"] = {"skipped": f"cannot resolve {baseline_rev!r}"}
+        return out
     with tempfile.TemporaryDirectory(prefix="bench-telemetry-") as tmp:
         tree = Path(tmp) / "tree"
         try:
             subprocess.run(
                 ["git", "worktree", "add", "--detach", str(tree),
-                 PRE_TELEMETRY_REV],
+                 resolved],
                 capture_output=True,
                 text=True,
                 cwd=repo,
@@ -754,14 +795,14 @@ def bench_telemetry(quick: bool, reps: int, no_baseline: bool) -> dict:
                 entry["off_cycles_per_sec_interleaved"] = round(
                     current["cps"], 1
                 )
-                entry["pre_telemetry_cycles_per_sec"] = round(child["cps"], 1)
+                entry["baseline_cycles_per_sec"] = round(child["cps"], 1)
                 entry["disabled_probe_overhead"] = round(overhead, 4)
                 overheads.append(overhead)
                 print(
                     f"  {entry['width']}x{entry['width']} "
                     f"{entry['routing']:10s} "
                     f"rate={entry['injection_rate']:<7} "
-                    f"pre-telemetry={child['cps']:8.0f} c/s  "
+                    f"baseline={child['cps']:8.0f} c/s  "
                     f"overhead={overhead:+.1%}"
                 )
         finally:
@@ -773,32 +814,39 @@ def bench_telemetry(quick: bool, reps: int, no_baseline: bool) -> dict:
             )
     geomean_overhead = _geomean([1 + o for o in overheads]) - 1
     out["baseline"] = {
-        "rev": PRE_TELEMETRY_REV,
+        "rev": resolved,
+        "reference": baseline_rev,
         "geomean_disabled_probe_overhead": round(geomean_overhead, 4),
     }
     print(
         f"  disabled-probe overhead geomean {geomean_overhead:+.1%} "
-        f"(budget {TELEMETRY_OVERHEAD_BUDGET:.0%})"
+        f"vs {baseline_rev} (budget {TELEMETRY_OVERHEAD_BUDGET:.0%})"
     )
     if geomean_overhead >= TELEMETRY_OVERHEAD_BUDGET:
         raise AssertionError(
             f"disabled-probe overhead {geomean_overhead:.1%} exceeds the "
-            f"{TELEMETRY_OVERHEAD_BUDGET:.0%} budget vs {PRE_TELEMETRY_REV}"
+            f"{TELEMETRY_OVERHEAD_BUDGET:.0%} per-PR budget vs "
+            f"{baseline_rev} ({resolved})"
         )
     return out
 
 
-def bench_validate(quick: bool, reps: int, no_baseline: bool) -> dict:
+def bench_validate(
+    quick: bool,
+    reps: int,
+    no_baseline: bool,
+    baseline_rev: str = OVERHEAD_BASELINE_REV,
+) -> dict:
     """Time invariant validation off vs all checkers on; bound the
     disabled cost.
 
     The off/on comparison runs in-tree and asserts bit-identical
     simulated results (the checkers observe, never steer).  The disabled
     hook overhead — the ``val is None`` attribute checks left in the hot
-    path — is then measured against :data:`PRE_VALIDATE_REV` in a git
-    worktree and must stay under :data:`VALIDATE_OVERHEAD_BUDGET`
-    geomean, with both sides timed back-to-back in fresh child
-    processes (see :func:`bench_telemetry`).
+    path — is then measured against ``baseline_rev`` (default ``HEAD``)
+    in a git worktree and the per-PR delta must stay under
+    :data:`VALIDATE_OVERHEAD_BUDGET` geomean, with both sides timed
+    back-to-back in fresh child processes (see :func:`bench_telemetry`).
     """
     from repro.validate import ValidationConfig
     from repro.validate.differential import result_signature
@@ -862,12 +910,20 @@ def bench_validate(quick: bool, reps: int, no_baseline: bool) -> dict:
         out["baseline"] = {"skipped": "--no-baseline"}
         return out
     repo = Path(__file__).resolve().parent.parent
+    resolved = _resolve_rev(repo, baseline_rev)
+    if resolved is None:
+        print(
+            f"  disabled-hook baseline skipped: "
+            f"cannot resolve {baseline_rev!r}"
+        )
+        out["baseline"] = {"skipped": f"cannot resolve {baseline_rev!r}"}
+        return out
     with tempfile.TemporaryDirectory(prefix="bench-validate-") as tmp:
         tree = Path(tmp) / "tree"
         try:
             subprocess.run(
                 ["git", "worktree", "add", "--detach", str(tree),
-                 PRE_VALIDATE_REV],
+                 resolved],
                 capture_output=True,
                 text=True,
                 cwd=repo,
@@ -902,14 +958,14 @@ def bench_validate(quick: bool, reps: int, no_baseline: bool) -> dict:
                 entry["off_cycles_per_sec_interleaved"] = round(
                     current["cps"], 1
                 )
-                entry["pre_validate_cycles_per_sec"] = round(child["cps"], 1)
+                entry["baseline_cycles_per_sec"] = round(child["cps"], 1)
                 entry["disabled_hook_overhead"] = round(overhead, 4)
                 overheads.append(overhead)
                 print(
                     f"  {entry['width']}x{entry['width']} "
                     f"{entry['routing']:10s} "
                     f"rate={entry['injection_rate']:<7} "
-                    f"pre-validate={child['cps']:8.0f} c/s  "
+                    f"baseline={child['cps']:8.0f} c/s  "
                     f"overhead={overhead:+.1%}"
                 )
         finally:
@@ -921,17 +977,19 @@ def bench_validate(quick: bool, reps: int, no_baseline: bool) -> dict:
             )
     geomean_overhead = _geomean([1 + o for o in overheads]) - 1
     out["baseline"] = {
-        "rev": PRE_VALIDATE_REV,
+        "rev": resolved,
+        "reference": baseline_rev,
         "geomean_disabled_hook_overhead": round(geomean_overhead, 4),
     }
     print(
         f"  disabled-hook overhead geomean {geomean_overhead:+.1%} "
-        f"(budget {VALIDATE_OVERHEAD_BUDGET:.0%})"
+        f"vs {baseline_rev} (budget {VALIDATE_OVERHEAD_BUDGET:.0%})"
     )
     if geomean_overhead >= VALIDATE_OVERHEAD_BUDGET:
         raise AssertionError(
             f"disabled-hook overhead {geomean_overhead:.1%} exceeds the "
-            f"{VALIDATE_OVERHEAD_BUDGET:.0%} budget vs {PRE_VALIDATE_REV}"
+            f"{VALIDATE_OVERHEAD_BUDGET:.0%} per-PR budget vs "
+            f"{baseline_rev} ({resolved})"
         )
     return out
 
@@ -966,6 +1024,16 @@ def main(argv: list[str] | None = None) -> int:
         help="skip timing the repo's root commit in a git worktree",
     )
     parser.add_argument(
+        "--overhead-baseline-rev",
+        default=OVERHEAD_BASELINE_REV,
+        metavar="REV",
+        help=(
+            "git revision the telemetry/validate overhead gates compare "
+            "against (default: HEAD, i.e. a per-PR delta gate; aim at a "
+            "merge base to measure a whole branch)"
+        ),
+    )
+    parser.add_argument(
         "--stage-times",
         action="store_true",
         help=(
@@ -994,12 +1062,16 @@ def main(argv: list[str] | None = None) -> int:
     print("parallel: serial vs process pool")
     parallel = bench_parallel(args.quick, args.jobs)
     print("telemetry: off vs sampling vs tracing, disabled-probe overhead")
-    telemetry = bench_telemetry(args.quick, reps, args.no_baseline)
+    telemetry = bench_telemetry(
+        args.quick, reps, args.no_baseline, args.overhead_baseline_rev
+    )
     print("validate: off vs all checkers on, disabled-hook overhead")
-    validate = bench_validate(args.quick, reps, args.no_baseline)
+    validate = bench_validate(
+        args.quick, reps, args.no_baseline, args.overhead_baseline_rev
+    )
 
     payload = {
-        "schema": "footprint-noc-bench/6",
+        "schema": "footprint-noc-bench/7",
         "timestamp": time.strftime("%Y%m%dT%H%M%S"),
         "quick": args.quick,
         "python": sys.version.split()[0],
@@ -1049,13 +1121,19 @@ def main(argv: list[str] | None = None) -> int:
     )
     overhead = telemetry["baseline"].get("geomean_disabled_probe_overhead")
     if overhead is not None:
-        line += f"; disabled probes {overhead:+.1%} vs pre-telemetry tree"
+        line += (
+            f"; disabled probes {overhead:+.1%} vs "
+            f"{args.overhead_baseline_rev}"
+        )
     print(line)
     vsum = validate["summary"]
     line = f"validation cost: {vsum['geomean_checker_cost']:+.1%} geomean"
     overhead = validate["baseline"].get("geomean_disabled_hook_overhead")
     if overhead is not None:
-        line += f"; disabled hooks {overhead:+.1%} vs pre-validation tree"
+        line += (
+            f"; disabled hooks {overhead:+.1%} vs "
+            f"{args.overhead_baseline_rev}"
+        )
     print(line)
     return 0
 

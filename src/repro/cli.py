@@ -13,6 +13,10 @@ simulation or a whole paper experiment::
     footprint-noc cache stats
     footprint-noc validate --runs 8 --seed 1
     footprint-noc validate --self-test
+    footprint-noc serve --port 7455
+    footprint-noc submit --routing footprint,dor --rates 0.02,0.05 --wait
+    footprint-noc jobs
+    footprint-noc leaderboard --ingest-bench benchmarks
     footprint-noc list
 
 Validation failures (unknown algorithm or pattern, malformed fault spec,
@@ -318,6 +322,165 @@ def _build_parser() -> argparse.ArgumentParser:
             "instead of the differential sweep, corrupt one piece of "
             "simulator state per checker (seeded mutations) and verify "
             "every checker catches its corruption"
+        ),
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help=(
+            "run the experiment service: an async job server that "
+            "interleaves sweep grids from many client streams, dedupes "
+            "against in-flight work and the result cache, and keeps "
+            "persistent leaderboards"
+        ),
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="TCP port (default 7455; 0 picks a free port and prints it)",
+    )
+    serve.add_argument(
+        "--state-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "service state directory for the leaderboard store and the "
+            "default cache (default: $REPRO_SERVICE_DIR, else "
+            "./.repro-service)"
+        ),
+    )
+    serve.add_argument(
+        "--jobs",
+        default=None,
+        type=_jobs_arg,
+        metavar="N|auto",
+        help=(
+            "concurrent simulations (default: REPRO_JOBS, else 1; "
+            "'auto' = one per CPU)"
+        ),
+    )
+    serve.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "result cache backing the service's dedup (default: "
+            "<state-dir>/cache)"
+        ),
+    )
+    serve.add_argument(
+        "--engine-mode",
+        choices=["auto", "vector", "skip", "fast", "legacy"],
+        default="auto",
+        help=(
+            "engine for simulated misses (default 'auto': re-resolved "
+            "per task from its offered load)"
+        ),
+    )
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit a sweep grid to a running experiment service",
+    )
+    submit.add_argument(
+        "--address",
+        default=None,
+        metavar="HOST:PORT",
+        help="service address (default: $REPRO_SERVICE, else :7455)",
+    )
+    submit.add_argument(
+        "--name",
+        default=None,
+        help="job name (default: derived from the grid)",
+    )
+    submit.add_argument("--stream", default="default")
+    submit.add_argument(
+        "--weight",
+        type=float,
+        default=1.0,
+        help="fair-share weight of the stream (default 1.0)",
+    )
+    submit.add_argument(
+        "--routing",
+        default="footprint",
+        help="comma-separated routing algorithms to sweep",
+    )
+    submit.add_argument(
+        "--rates",
+        default="0.02,0.05",
+        help="comma-separated injection rates to sweep",
+    )
+    submit.add_argument("--traffic", default="uniform")
+    submit.add_argument("--width", type=int, default=8)
+    submit.add_argument("--height", type=int, default=None)
+    submit.add_argument("--vcs", type=int, default=10)
+    submit.add_argument("--packet-size", type=int, default=1)
+    submit.add_argument("--warmup", type=int, default=1000)
+    submit.add_argument("--measure", type=int, default=2000)
+    submit.add_argument("--drain", type=int, default=5000)
+    submit.add_argument("--seed", type=int, default=1)
+    submit.add_argument(
+        "--wait",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="poll until the job finishes and print its results",
+    )
+    submit.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="give up waiting after this long (default: forever)",
+    )
+
+    jobs_cmd = sub.add_parser(
+        "jobs", help="list, inspect, or cancel service jobs"
+    )
+    jobs_cmd.add_argument(
+        "--address",
+        default=None,
+        metavar="HOST:PORT",
+        help="service address (default: $REPRO_SERVICE, else :7455)",
+    )
+    jobs_cmd.add_argument(
+        "--job", default=None, metavar="ID", help="show one job in detail"
+    )
+    jobs_cmd.add_argument(
+        "--cancel", default=None, metavar="ID", help="cancel a job"
+    )
+
+    leaderboard = sub.add_parser(
+        "leaderboard",
+        help=(
+            "render the persistent per-scenario standings and bench "
+            "trajectory (reads the state dir directly; --address asks a "
+            "running service instead)"
+        ),
+    )
+    leaderboard.add_argument(
+        "--state-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "service state directory (default: $REPRO_SERVICE_DIR, else "
+            "./.repro-service)"
+        ),
+    )
+    leaderboard.add_argument(
+        "--address",
+        default=None,
+        metavar="HOST:PORT",
+        help="query a running service instead of reading the state dir",
+    )
+    leaderboard.add_argument(
+        "--ingest-bench",
+        default=None,
+        metavar="DIR",
+        help=(
+            "fold the BENCH_*.json trajectory under DIR into the store "
+            "before rendering (idempotent)"
         ),
     )
 
@@ -670,6 +833,179 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import DEFAULT_PORT
+    from repro.service.server import serve
+
+    port = args.port if args.port is not None else DEFAULT_PORT
+    try:
+        return asyncio.run(
+            serve(
+                host=args.host,
+                port=port,
+                state_dir=args.state_dir,
+                jobs=args.jobs,
+                cache_dir=args.cache_dir,
+                engine_mode=args.engine_mode,
+            )
+        )
+    except KeyboardInterrupt:
+        print("repro service interrupted", file=sys.stderr)
+        return 130
+
+
+def _submit_grid(args: argparse.Namespace):
+    """Build the (tasks, job name) pair of a `repro submit` invocation."""
+    from repro.harness.parallel import SimTask
+    from repro.service import ServiceError
+
+    routings = [r.strip() for r in args.routing.split(",") if r.strip()]
+    try:
+        rates = [
+            float(r) for r in args.rates.split(",") if r.strip()
+        ]
+    except ValueError:
+        raise ServiceError(
+            f"--rates expects comma-separated floats, got {args.rates!r}"
+        ) from None
+    if not routings or not rates:
+        raise ServiceError("--routing and --rates must be non-empty")
+    tasks = []
+    for routing in routings:
+        config = SimulationConfig(
+            width=args.width,
+            height=args.height,
+            num_vcs=args.vcs,
+            routing=routing,
+            traffic=args.traffic,
+            injection_rate=rates[0],
+            packet_size=args.packet_size,
+            warmup_cycles=args.warmup,
+            measure_cycles=args.measure,
+            drain_cycles=args.drain,
+            seed=args.seed,
+        )
+        tasks.extend(SimTask(config, rate=rate) for rate in rates)
+    name = args.name or (
+        f"{args.traffic}-{'+'.join(routings)}-x{len(rates)}"
+    )
+    return tasks, name
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient
+
+    tasks, name = _submit_grid(args)
+    client = ServiceClient.from_address(args.address)
+    response = client.submit_tasks(
+        name, tasks, stream=args.stream, weight=args.weight
+    )
+    job_id = response["job_id"]
+    dedup_note = " (deduped: identical grid already known)" if (
+        response["deduped"]
+    ) else ""
+    print(
+        f"job {job_id} [{name}] on stream '{args.stream}': "
+        f"{response['tasks']} tasks, hash {response['hash'][:12]}"
+        f"{dedup_note}"
+    )
+    if not args.wait:
+        return 0
+    job = client.wait(job_id, timeout=args.timeout)
+    counts = job["counts"]
+    print(
+        f"job {job_id} {job['state']} in {job['elapsed_s']}s: "
+        f"{counts['simulated']} simulated, {counts['cached']} cached, "
+        f"{counts['shared']} shared"
+    )
+    result = client.result(job_id)
+    for point in result["points"]:
+        latency = point.get("avg_latency")
+        latency_text = (
+            f"{latency:8.2f}" if latency is not None else "     n/a"
+        )
+        print(
+            f"  {point['routing']:>16s} {point['traffic']:>10s} "
+            f"inj={point['injection_rate']:.3f} -> lat={latency_text} "
+            f"acc={point.get('accepted_rate', float('nan')):.4f} "
+            f"[{point['kind'] or point['state']}]"
+        )
+    return 0 if job["state"] == "done" else 1
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient.from_address(args.address)
+    if args.cancel is not None:
+        response = client.cancel(args.cancel)
+        verdict = (
+            "cancelled" if response["cancelled"] else "already terminal"
+        )
+        print(f"job {args.cancel}: {verdict} (state {response['state']})")
+        return 0
+    if args.job is not None:
+        job = client.status(args.job)["job"]
+        counts = job["counts"]
+        print(f"job {job['job_id']} [{job['name']}]")
+        print(f"  stream : {job['stream']}")
+        print(f"  state  : {job['state']}")
+        print(f"  hash   : {job['hash'][:12]}")
+        print(
+            f"  tasks  : {counts['done']}/{counts['total']} done "
+            f"({counts['simulated']} simulated, {counts['cached']} "
+            f"cached, {counts['shared']} shared)"
+        )
+        if job["error"]:
+            print(f"  error  : {job['error']}")
+        for timestamp, message in job["events"]:
+            print(f"  event  : {message}")
+        return 0
+    status = client.status()
+    totals = status["totals"]
+    print(
+        f"{totals['jobs']} jobs, {totals['streams']} streams, "
+        f"{totals['active_workers']}/{totals['max_workers']} workers "
+        f"busy; {totals['simulated']} simulated, {totals['cached']} "
+        f"cached, {totals['shared']} shared"
+    )
+    for job in status["jobs"]:
+        counts = job["counts"]
+        print(
+            f"  {job['job_id']:<5s} {job['state']:<9s} "
+            f"{job['stream']:<12s} {counts['done']}/{counts['total']} "
+            f"done  [{job['name']}]"
+        )
+    return 0
+
+
+def _cmd_leaderboard(args: argparse.Namespace) -> int:
+    from repro.service import ServiceError
+    from repro.service.leaderboard import LeaderboardStore
+
+    if args.address is not None:
+        if args.ingest_bench is not None:
+            raise ServiceError(
+                "--ingest-bench works on the local state dir; drop "
+                "--address (the server ingests its own jobs)"
+            )
+        from repro.service.client import ServiceClient
+
+        print(ServiceClient.from_address(args.address).leaderboard()["text"])
+        return 0
+    store = LeaderboardStore(args.state_dir)
+    if args.ingest_bench is not None:
+        added = store.ingest_bench_dir(args.ingest_bench)
+        print(
+            f"ingested {added} bench records from {args.ingest_bench} "
+            f"into {store.path}"
+        )
+    print(store.render())
+    return 0
+
+
 def _cmd_list(_args: argparse.Namespace) -> int:
     print("routing algorithms:")
     for name in available_algorithms():
@@ -690,6 +1026,10 @@ def main(argv: list[str] | None = None) -> int:
         "cache": _cmd_cache,
         "trace": _cmd_trace,
         "validate": _cmd_validate,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "jobs": _cmd_jobs,
+        "leaderboard": _cmd_leaderboard,
         "list": _cmd_list,
     }
     try:

@@ -15,9 +15,12 @@ a result cached under one mode is equally valid for every other.
 Entries are one JSON file per key under the cache directory (default
 ``.repro-cache/``, overridable with the ``REPRO_CACHE_DIR`` environment
 variable or an explicit path).  Writes go through a temporary file and
-an atomic :func:`os.replace`, so concurrent ``--jobs`` workers and
-parallel experiment runs can share a directory without torn entries;
-unreadable or corrupt files are treated as misses and overwritten.
+an atomic :func:`os.replace`, so concurrent ``--jobs`` workers, parallel
+experiment runs, and the experiment service's streams can share a
+directory without torn entries; unreadable or corrupt files are treated
+as misses and overwritten.  Writers also tolerate a ``prune``/``clear``
+racing them (the store is retried once if the directory vanishes
+mid-write), and ``prune`` sweeps temp files orphaned by dead writers.
 """
 
 from __future__ import annotations
@@ -26,6 +29,7 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
 
 from repro.sim.config import SimulationConfig
@@ -36,6 +40,11 @@ CACHE_ENV = "REPRO_CACHE_DIR"
 
 #: Directory used when neither an explicit path nor the env var is set.
 DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Age beyond which an orphaned ``.*.tmp`` file is fair game for
+#: ``prune``: far longer than any single simulation's store, so a live
+#: concurrent writer can never lose its in-progress temp file.
+STALE_TMP_SECONDS = 3600.0
 
 
 def default_cache_dir() -> Path:
@@ -109,28 +118,49 @@ class ResultCache:
         Telemetry is stripped from the stored payload: the key ignores
         the telemetry config, so an entry must be exactly the simulated
         outcome any telemetry variant of the config would produce.
+
+        Safe under concurrent writers and a racing ``prune``/``clear``:
+        the write lands in a hidden temp file first and is published
+        with one atomic :func:`os.replace`, and if the directory (or
+        the temp file) vanishes mid-write — a concurrent sweep removed
+        it — the store is retried once from ``mkdir`` up.
         """
         key = config_cache_key(result.config)
-        self.directory.mkdir(parents=True, exist_ok=True)
         payload = result.to_dict()
         payload["telemetry"] = None
         # The stored config is normalized the same way the key is, so a
         # hit never claims a telemetry setting it did not serve.
         payload["config"]["telemetry"] = None
         blob = json.dumps(payload, separators=(",", ":"))
-        fd, tmp_name = tempfile.mkstemp(
-            dir=self.directory, prefix=f".{key}.", suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "w") as handle:
-                handle.write(blob)
-            os.replace(tmp_name, self._path(key))
-        except BaseException:
+        for attempt in (0, 1):
+            self.directory.mkdir(parents=True, exist_ok=True)
             try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+                fd, tmp_name = tempfile.mkstemp(
+                    dir=self.directory, prefix=f".{key}.", suffix=".tmp"
+                )
+            except FileNotFoundError:
+                # Directory removed between mkdir and mkstemp.
+                if attempt:
+                    raise
+                continue
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    handle.write(blob)
+                os.replace(tmp_name, self._path(key))
+                return
+            except FileNotFoundError:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                if attempt:
+                    raise
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
 
     # ------------------------------------------------------------------
     @property
@@ -171,8 +201,30 @@ class ResultCache:
             "total_bytes": total_bytes,
         }
 
+    def _sweep_tmp(self, max_age_seconds: float) -> int:
+        """Remove orphaned ``.*.tmp`` files older than ``max_age_seconds``.
+
+        A writer that died between ``mkstemp`` and ``os.replace`` leaks
+        its temp file; ``prune`` sweeps ones old enough that no live
+        writer can still own them, ``clear`` sweeps all.  Vanishing
+        files (a racing sweep, or the owning writer publishing) are
+        skipped.
+        """
+        if not self.directory.is_dir():
+            return 0
+        removed = 0
+        now = time.time()
+        for path in self.directory.glob(".*.tmp"):
+            try:
+                if now - path.stat().st_mtime >= max_age_seconds:
+                    path.unlink()
+                    removed += 1
+            except OSError:
+                pass
+        return removed
+
     def clear(self) -> int:
-        """Delete every entry; return the number removed."""
+        """Delete every entry (and temp file); return entries removed."""
         removed = 0
         for path in self.entry_paths():
             try:
@@ -180,6 +232,7 @@ class ResultCache:
                 removed += 1
             except OSError:
                 pass
+        self._sweep_tmp(0.0)
         return removed
 
     def prune(self, max_entries: int) -> int:
@@ -187,9 +240,13 @@ class ResultCache:
 
         Eviction is oldest-first by modification time (ties broken by
         name for determinism); returns the number of entries removed.
+        Also sweeps temp files orphaned by dead writers (older than
+        :data:`STALE_TMP_SECONDS`); entries that vanish mid-prune — a
+        concurrent ``clear`` or another ``prune`` — are tolerated.
         """
         if max_entries < 0:
             raise ValueError("max_entries must be >= 0")
+        self._sweep_tmp(STALE_TMP_SECONDS)
         entries = self.entry_paths()
         if len(entries) <= max_entries:
             return 0

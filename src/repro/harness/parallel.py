@@ -204,8 +204,26 @@ def run_tasks(
     carry no telemetry (it is stripped on store), so a hit could not
     deliver the series the caller asked for — they still store their
     (telemetry-stripped) outcome back for telemetry-free reuse.
+
+    When ``$REPRO_SERVICE`` names a running experiment service
+    (``host:port``), telemetry-free grids are submitted there as one
+    job instead of running locally — see :mod:`repro.service`.
     """
     task_list = list(tasks)
+    service = os.environ.get("REPRO_SERVICE", "").strip()
+    if service and task_list and not any(
+        _wants_telemetry(task.resolved_config()) for task in task_list
+    ):
+        # $REPRO_SERVICE routes whole grids through the experiment
+        # service (repro serve), which owns its own cache, worker pool,
+        # and engine-mode policy — the local cache/jobs arguments do not
+        # apply there.  Telemetry-requesting grids stay local: the
+        # service dedupes through the telemetry-blind cache and cannot
+        # serve collected series.  Imported lazily because the service
+        # package imports this module.
+        from repro.service.client import run_tasks_via_service
+
+        return run_tasks_via_service(task_list, address=service)
     if cache is None:
         results: list[SimulationResult | None] = [None] * len(task_list)
         pending = list(range(len(task_list)))

@@ -1,0 +1,294 @@
+"""The asyncio experiment server.
+
+One :class:`ExperimentServer` owns a
+:class:`~repro.service.scheduler.ExperimentScheduler` and a
+:class:`~repro.service.leaderboard.LeaderboardStore`, and speaks the
+JSON-lines protocol of :mod:`repro.service.protocol` on a localhost TCP
+socket.  Clients may hold a connection open and pipeline requests, or
+reconnect per request — each line is answered independently.
+
+Verbs::
+
+    ping        -> {"ok", "version", "uptime_s", "totals"}
+    submit      -> {"ok", "job_id", "hash", "deduped", "state", "tasks"}
+    status      -> one job's summary, or all jobs + scheduler totals
+    result      -> per-task outcome rows; "full": true adds complete
+                   SimulationResult payloads (cache-format dicts)
+    cancel      -> {"ok", "cancelled", "state"}
+    streams     -> per-stream weight / vtime / queue depth
+    leaderboard -> rendered standings text + structured tables
+    shutdown    -> acks, then stops the server loop
+
+Completed jobs are ingested into the leaderboard store as they finish
+(idempotently — a deduped resubmission ingests nothing).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any
+
+from repro.harness.cache import ResultCache
+from repro.service import ServiceError
+from repro.service.jobs import JobSpec, JobState
+from repro.service.leaderboard import LeaderboardStore
+from repro.service.protocol import MAX_LINE, decode, encode, error_response
+from repro.service.scheduler import ExperimentScheduler
+
+#: Protocol/application version reported by ``ping``.
+SERVICE_VERSION = 1
+
+
+class ExperimentServer:
+    """JSON-lines front end over one scheduler and one leaderboard."""
+
+    def __init__(
+        self,
+        scheduler: ExperimentScheduler,
+        store: LeaderboardStore,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.scheduler = scheduler
+        self.store = store
+        self.host = host
+        self.port = port
+        self.started_at = time.time()
+        self._server: asyncio.AbstractServer | None = None
+        self._shutdown = asyncio.Event()
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._writers: set[asyncio.StreamWriter] = set()
+        scheduler.on_job_done = self._on_job_done
+
+    # ------------------------------------------------------------------
+    def _on_job_done(self, job) -> None:
+        if job.state is not JobState.DONE:
+            return
+        try:
+            self.store.ingest_job(job)
+        except OSError:
+            # A read-only state dir loses history, not results.
+            pass
+
+    # ------------------------------------------------------------------
+    async def start(self) -> int:
+        """Bind and listen; returns the actual port (for ``port=0``)."""
+        self._server = await asyncio.start_server(
+            self._on_client, self.host, self.port, limit=MAX_LINE
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.port
+
+    async def serve_until_shutdown(self) -> None:
+        """Serve until a ``shutdown`` verb (or :meth:`request_shutdown`)."""
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._shutdown.wait()
+        await self._close_connections()
+        await self.scheduler.close()
+
+    def request_shutdown(self) -> None:
+        self._shutdown.set()
+
+    async def close(self) -> None:
+        """Immediate stop for tests: close the socket, drain the pool."""
+        self.request_shutdown()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self._close_connections()
+        await self.scheduler.close()
+
+    async def _close_connections(self) -> None:
+        """End open client handlers *normally* before the loop dies.
+
+        Closing a connection's transport feeds EOF to its handler's
+        ``readline()``, so the handler task finishes instead of being
+        cancelled at loop teardown — where asyncio's stream machinery
+        would log a spurious ``CancelledError`` for every parked
+        connection (its done-callback calls ``task.exception()``
+        unconditionally).
+        """
+        for writer in list(self._writers):
+            writer.close()
+        current = asyncio.current_task()
+        tasks = [t for t in list(self._conn_tasks) if t is not current]
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+    # ------------------------------------------------------------------
+    async def _on_client(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        self._writers.add(writer)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ValueError, ConnectionError):
+                    # Over-long line or reset peer: drop the connection.
+                    break
+                if not line:
+                    break
+                response = self.dispatch_line(line)
+                writer.write(encode(response))
+                try:
+                    await writer.drain()
+                except ConnectionError:
+                    break
+        finally:
+            self._writers.discard(writer)
+            if task is not None:
+                self._conn_tasks.discard(task)
+            # No wait_closed(): the transport flushes and closes on its
+            # own, and awaiting it here turns loop teardown (e.g. the
+            # shutdown verb) into spurious CancelledError noise.
+            writer.close()
+
+    def dispatch_line(self, line: bytes) -> dict[str, Any]:
+        """Decode one request line and answer it (never raises)."""
+        try:
+            request = decode(line)
+        except ServiceError as exc:
+            return error_response(str(exc))
+        return self.dispatch(request)
+
+    def dispatch(self, request: dict[str, Any]) -> dict[str, Any]:
+        verb = request.get("verb")
+        handler = getattr(self, f"_verb_{verb}", None)
+        if handler is None:
+            return error_response(f"unknown verb {verb!r}")
+        try:
+            return handler(request)
+        except ServiceError as exc:
+            return error_response(str(exc))
+        except Exception as exc:  # a verb bug must not kill the server
+            return error_response(f"internal error: {exc!r}")
+
+    # ------------------------------------------------------------------
+    # Verbs
+    # ------------------------------------------------------------------
+    def _verb_ping(self, request: dict[str, Any]) -> dict[str, Any]:
+        return {
+            "ok": True,
+            "version": SERVICE_VERSION,
+            "uptime_s": round(time.time() - self.started_at, 3),
+            "totals": self.scheduler.totals(),
+        }
+
+    def _verb_submit(self, request: dict[str, Any]) -> dict[str, Any]:
+        spec = JobSpec.from_dict(request)
+        job, deduped = self.scheduler.submit(spec)
+        return {
+            "ok": True,
+            "job_id": job.id,
+            "hash": spec.spec_hash(),
+            "deduped": deduped,
+            "state": job.state.value,
+            "tasks": len(spec.tasks),
+        }
+
+    def _verb_status(self, request: dict[str, Any]) -> dict[str, Any]:
+        job_id = request.get("job_id")
+        if job_id is not None:
+            return {"ok": True, "job": self.scheduler.get_job(job_id).summary()}
+        return {
+            "ok": True,
+            "totals": self.scheduler.totals(),
+            "jobs": [job.summary() for job in self.scheduler.jobs()],
+        }
+
+    def _verb_result(self, request: dict[str, Any]) -> dict[str, Any]:
+        job = self.scheduler.get_job(request.get("job_id", ""))
+        response: dict[str, Any] = {
+            "ok": True,
+            "job_id": job.id,
+            "state": job.state.value,
+            "ready": job.state is JobState.DONE,
+            "error": job.error,
+            "points": job.result_points(),
+        }
+        if request.get("full"):
+            response["results"] = [
+                result.to_dict() if result is not None else None
+                for result in job.results
+            ]
+        return response
+
+    def _verb_cancel(self, request: dict[str, Any]) -> dict[str, Any]:
+        job_id = request.get("job_id", "")
+        cancelled = self.scheduler.cancel(job_id)
+        return {
+            "ok": True,
+            "job_id": job_id,
+            "cancelled": cancelled,
+            "state": self.scheduler.get_job(job_id).state.value,
+        }
+
+    def _verb_streams(self, request: dict[str, Any]) -> dict[str, Any]:
+        return {
+            "ok": True,
+            "streams": self.scheduler.stream_info(),
+            "totals": self.scheduler.totals(),
+        }
+
+    def _verb_leaderboard(self, request: dict[str, Any]) -> dict[str, Any]:
+        return {
+            "ok": True,
+            "text": self.store.render(),
+            "standings": self.store.standings(),
+            "bench": self.store.bench_trajectory(),
+        }
+
+    def _verb_shutdown(self, request: dict[str, Any]) -> dict[str, Any]:
+        self.request_shutdown()
+        return {"ok": True, "stopping": True}
+
+
+async def serve(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    state_dir: str | None = None,
+    jobs: int | str | None = None,
+    cache_dir: str | None = None,
+    engine_mode: str | None = None,
+) -> int:
+    """Run a server until shutdown; the ``repro serve`` entry point.
+
+    The result cache defaults to a ``cache/`` subdirectory of the state
+    dir, so a bare ``repro serve`` gets persistent dedup without
+    touching the CLI-facing ``.repro-cache`` store.
+    """
+    store = LeaderboardStore(state_dir)
+    if cache_dir is None:
+        cache_dir = str(store.directory / "cache")
+    scheduler = ExperimentScheduler(
+        jobs=jobs,
+        cache=ResultCache(cache_dir),
+        engine_mode=engine_mode,
+    )
+    server = ExperimentServer(scheduler, store, host=host, port=port)
+    bound = await server.start()
+    print(
+        f"repro service listening on {host}:{bound} "
+        f"(state {store.directory}, cache {cache_dir}, "
+        f"workers {scheduler.max_workers})",
+        flush=True,
+    )
+    try:
+        await server.serve_until_shutdown()
+    finally:
+        totals = scheduler.totals()
+        print(
+            f"repro service stopped: {totals['jobs']} jobs, "
+            f"{totals['simulated']} simulated, {totals['cached']} cached, "
+            f"{totals['shared']} shared",
+            flush=True,
+        )
+    return 0

@@ -28,7 +28,7 @@ def test_quick_bench_writes_report(run_bench, tmp_path):
     assert len(reports) == 1
     payload = json.loads(reports[0].read_text())
 
-    assert payload["schema"] == "footprint-noc-bench/6"
+    assert payload["schema"] == "footprint-noc-bench/7"
     assert payload["quick"] is True
 
     engine = payload["engine"]

@@ -1,0 +1,222 @@
+"""Client-server integration tests over a localhost socket.
+
+Each test boots a real :class:`ExperimentServer` on an ephemeral port
+inside ``asyncio.run`` and drives it with the blocking
+:class:`ServiceClient` from a worker thread (``asyncio.to_thread``), so
+the event loop stays free to serve while the client polls — the same
+topology as a figure driver talking to ``repro serve``.
+"""
+
+import asyncio
+import os
+
+import pytest
+
+from repro.harness.cache import ResultCache
+from repro.harness.parallel import SimTask, run_tasks
+from repro.service import ServiceError
+from repro.service.client import ServiceClient, parse_address
+from repro.service.leaderboard import LeaderboardStore
+from repro.service.scheduler import ExperimentScheduler
+from repro.service.server import ExperimentServer
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import Simulator
+
+
+def _config(seed=1, rate=0.05, routing="footprint", **overrides):
+    base = dict(
+        width=4,
+        num_vcs=4,
+        routing=routing,
+        injection_rate=rate,
+        warmup_cycles=10,
+        measure_cycles=30,
+        drain_cycles=120,
+        seed=seed,
+    )
+    base.update(overrides)
+    return SimulationConfig(**base)
+
+
+def _serve(tmp_path, client_fn):
+    """Boot a server, run ``client_fn(client)`` in a thread, shut down."""
+
+    async def main():
+        scheduler = ExperimentScheduler(
+            jobs=1,
+            cache=ResultCache(tmp_path / "cache"),
+            engine_mode="auto",
+        )
+        server = ExperimentServer(
+            scheduler, LeaderboardStore(tmp_path / "state")
+        )
+        port = await server.start()
+        try:
+            client = ServiceClient("127.0.0.1", port, timeout=60.0)
+            return await asyncio.to_thread(client_fn, client), scheduler
+        finally:
+            await server.close()
+
+    return asyncio.run(main())
+
+
+class TestParseAddress:
+    def test_forms(self):
+        assert parse_address("example:7000") == ("example", 7000)
+        assert parse_address(":7000") == ("127.0.0.1", 7000)
+        assert parse_address("7000") == ("127.0.0.1", 7000)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ServiceError):
+            parse_address("host:notaport")
+        with pytest.raises(ServiceError):
+            parse_address("host:70000")
+
+
+class TestServerRoundTrip:
+    def test_submit_wait_results_and_dedup(self, tmp_path):
+        def drive(client):
+            assert client.ping()["ok"] is True
+            tasks = [SimTask(_config(seed=1)), SimTask(_config(seed=2))]
+            first = client.submit_tasks("grid", tasks, stream="s1")
+            assert first["deduped"] is False
+            summary = client.wait(first["job_id"], timeout=60)
+            assert summary["state"] == "done"
+            assert summary["counts"]["simulated"] == 2
+
+            # Resubmitting the identical grid — different name and
+            # stream — answers from the finished job: same id, zero new
+            # simulations.
+            again = client.submit_tasks("grid-again", tasks, stream="s2")
+            assert again["deduped"] is True
+            assert again["job_id"] == first["job_id"]
+            totals = client.ping()["totals"]
+            assert totals["simulated"] == 2
+
+            results = client.results(first["job_id"])
+            return results
+
+        results, _ = _serve(tmp_path, drive)
+        # Service results are bit-identical to a local run.
+        direct = Simulator(_config(seed=1)).run()
+        assert results[0].accepted_flits == direct.accepted_flits
+        assert sorted(results[0].latency._samples) == sorted(
+            direct.latency._samples
+        )
+
+    def test_overlapping_grids_share_work(self, tmp_path):
+        def drive(client):
+            grid_a = [SimTask(_config(seed=1)), SimTask(_config(seed=2))]
+            grid_b = [SimTask(_config(seed=2)), SimTask(_config(seed=3))]
+            a = client.submit_tasks("a", grid_a, stream="s1")
+            b = client.submit_tasks("b", grid_b, stream="s2")
+            done_a = client.wait(a["job_id"], timeout=60)
+            done_b = client.wait(b["job_id"], timeout=60)
+            assert done_a["state"] == "done"
+            assert done_b["state"] == "done"
+            totals = client.ping()["totals"]
+            # Seed 2 overlaps: three distinct simulations, never four.
+            assert totals["simulated"] == 3
+            assert totals["shared"] + totals["cached"] == 1
+            streams = client.streams()["streams"]
+            assert {s["stream"] for s in streams} == {"s1", "s2"}
+            return None
+
+        _serve(tmp_path, drive)
+
+    def test_cancel_and_status(self, tmp_path):
+        def drive(client):
+            # Heavy enough that the 3-task job cannot finish before the
+            # cancel round-trip lands (only completion of *all* tasks
+            # would make cancel report False).
+            tasks = [
+                SimTask(_config(seed=s, measure_cycles=4000))
+                for s in (1, 2, 3)
+            ]
+            job = client.submit_tasks("doomed", tasks, stream="s1")
+            cancelled = client.cancel(job["job_id"])
+            assert cancelled["cancelled"] is True
+            assert cancelled["state"] == "cancelled"
+            # Cancelling a terminal job reports False, not an error.
+            assert client.cancel(job["job_id"])["cancelled"] is False
+            status = client.status(job["job_id"])["job"]
+            assert status["state"] == "cancelled"
+            listing = client.status()
+            assert any(
+                j["job_id"] == job["job_id"] for j in listing["jobs"]
+            )
+            return None
+
+        _serve(tmp_path, drive)
+
+    def test_error_paths(self, tmp_path):
+        def drive(client):
+            with pytest.raises(ServiceError, match="unknown verb"):
+                client.call("frobnicate")
+            with pytest.raises(ServiceError, match="unknown job"):
+                client.status("j999")
+            with pytest.raises(ServiceError, match="no tasks"):
+                client.call("submit", name="empty", stream="s", tasks=[])
+            return None
+
+        _serve(tmp_path, drive)
+
+    def test_done_jobs_feed_leaderboard(self, tmp_path):
+        def drive(client):
+            for routing in ("footprint", "dor"):
+                job = client.submit_tasks(
+                    f"grid-{routing}",
+                    [SimTask(_config(seed=1, routing=routing))],
+                    stream="s1",
+                )
+                client.wait(job["job_id"], timeout=60)
+            board = client.leaderboard()
+            assert "scenario:" in board["text"]
+            (rows,) = board["standings"].values()
+            assert {row["routing"] for row in rows} == {"footprint", "dor"}
+            return None
+
+        _serve(tmp_path, drive)
+        # The ingested standings persist in the state dir across server
+        # lifetimes.
+        store = LeaderboardStore(tmp_path / "state")
+        assert len(store.records()) == 2
+
+    def test_shutdown_verb_stops_serve_loop(self, tmp_path):
+        async def main():
+            scheduler = ExperimentScheduler(jobs=1)
+            server = ExperimentServer(
+                scheduler, LeaderboardStore(tmp_path / "state")
+            )
+            port = await server.start()
+            loop_task = asyncio.ensure_future(server.serve_until_shutdown())
+            client = ServiceClient("127.0.0.1", port, timeout=30.0)
+            ack = await asyncio.to_thread(client.shutdown)
+            assert ack["stopping"] is True
+            await asyncio.wait_for(loop_task, timeout=30)
+
+        asyncio.run(main())
+
+
+class TestHarnessHook:
+    def test_run_tasks_routes_through_service(self, tmp_path, monkeypatch):
+        tasks = [SimTask(_config(seed=1)), SimTask(_config(seed=2))]
+
+        def drive(client):
+            monkeypatch.setenv(
+                "REPRO_SERVICE", f"127.0.0.1:{client.port}"
+            )
+            via_service = run_tasks(tasks)
+            monkeypatch.delenv("REPRO_SERVICE")
+            return via_service
+
+        via_service, scheduler = _serve(tmp_path, drive)
+        assert scheduler.totals()["simulated"] == 2
+        stream_names = [s["stream"] for s in scheduler.stream_info()]
+        assert f"pid-{os.getpid()}" in stream_names
+        direct = [Simulator(t.resolved_config()).run() for t in tasks]
+        for ours, theirs in zip(via_service, direct):
+            assert ours.accepted_flits == theirs.accepted_flits
+            assert sorted(ours.latency._samples) == sorted(
+                theirs.latency._samples
+            )

@@ -172,6 +172,94 @@ class TestResultCache:
         assert "0 hits" in text and "1 misses" in text
 
 
+class TestConcurrentWriters:
+    def test_parallel_puts_with_racing_prune(self, tmp_path):
+        """Writer threads racing prune never tear, crash, or leak.
+
+        ``prune`` only sweeps temp files old enough that no live writer
+        can own them, so concurrent stores must always succeed.
+        (``clear`` is the exclusive admin reset — it sweeps everything
+        and is not part of the concurrent-writer contract.)
+        """
+        import threading
+
+        results = [_result(seed=seed) for seed in range(3, 7)]
+        cache = ResultCache(tmp_path / "cache")
+        stop = threading.Event()
+        errors = []
+
+        def writer(result):
+            while not stop.is_set():
+                try:
+                    cache.put(result)
+                except Exception as exc:  # noqa: BLE001 - collect all
+                    errors.append(exc)
+                    return
+
+        def sweeper():
+            while not stop.is_set():
+                try:
+                    cache.prune(2)
+                except Exception as exc:  # noqa: BLE001 - collect all
+                    errors.append(exc)
+                    return
+
+        threads = [
+            threading.Thread(target=writer, args=(r,)) for r in results
+        ] + [threading.Thread(target=sweeper)]
+        for thread in threads:
+            thread.start()
+        import time as _time
+
+        _time.sleep(0.4)
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert errors == []
+        # The store is still fully functional and entries round-trip.
+        cache.put(results[0])
+        fresh = ResultCache(tmp_path / "cache")
+        hit = fresh.get(results[0].config)
+        assert hit is not None
+        assert _signature(hit) == _signature(results[0])
+        # No temp files were leaked by the racing writers.
+        assert list((tmp_path / "cache").glob(".*.tmp")) == []
+
+    def test_prune_spares_fresh_tmp_sweeps_stale(self, tmp_path):
+        import os as _os
+        import time as _time
+
+        from repro.harness.cache import STALE_TMP_SECONDS
+
+        cache = ResultCache(tmp_path / "cache")
+        cache.put(_result(seed=3))
+        fresh_tmp = tmp_path / "cache" / ".abc.live.tmp"
+        fresh_tmp.write_text("{}")
+        stale_tmp = tmp_path / "cache" / ".def.dead.tmp"
+        stale_tmp.write_text("{}")
+        old = _time.time() - STALE_TMP_SECONDS - 10
+        _os.utime(stale_tmp, (old, old))
+
+        cache.prune(10)
+        # A live writer's temp file survives; the orphan is swept.
+        assert fresh_tmp.exists()
+        assert not stale_tmp.exists()
+
+        cache.clear()
+        assert not fresh_tmp.exists()
+
+    def test_put_survives_directory_removal(self, tmp_path):
+        import shutil
+
+        cache = ResultCache(tmp_path / "cache")
+        result = _result(seed=3)
+        cache.put(result)
+        shutil.rmtree(tmp_path / "cache")
+        # put() recreates the directory and retries the atomic publish.
+        cache.put(result)
+        assert cache.get(result.config) is not None
+
+
 class TestDefaultDirectory:
     def test_env_var_overrides(self, monkeypatch, tmp_path):
         monkeypatch.setenv(CACHE_ENV, str(tmp_path / "envcache"))
