@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Benchmark the simulation engine, the result cache, and the pool layer.
 
-Seven measurements, written to ``BENCH_<timestamp>.json``:
+Eight measurements, written to ``BENCH_<timestamp>.json``:
 
 * **engine** — single-simulation cycles/sec for a fixed config matrix,
   comparing four engine modes: ``vector`` (the structure-of-arrays
@@ -68,6 +68,14 @@ Seven measurements, written to ``BENCH_<timestamp>.json``:
   per-PR overhead baseline, and the run **asserts** that the
   disabled-hook overhead stays under ``VALIDATE_OVERHEAD_BUDGET`` (2%)
   geomean.  Skipped notes as above.
+
+* **tuner** — a tiny budgeted ``repro tune`` (successive halving plus
+  one refinement round) executed twice against a fresh cache: the cold
+  pass simulates every evaluation, and the warm pass must replay the
+  **identical search** — same frontier, same per-round survivors —
+  with **zero fresh simulations**, because tune budgets are charged in
+  estimated cycle-nodes rather than actual simulation work.  Both
+  properties are asserted on every run.
 
 Usage::
 
@@ -994,6 +1002,84 @@ def bench_validate(
     return out
 
 
+def bench_tuner(quick: bool) -> dict:
+    """Run a tiny budgeted tune cold, then prove the warm replay is free.
+
+    The warm re-run must make the *same decisions* (identical frontier,
+    identical per-round survivors) while simulating nothing — budget
+    accounting charges estimated cycle-nodes, never actual simulations,
+    so a fully warm cache replays the search byte-identically.
+    """
+    from repro.harness.cache import ResultCache
+    from repro.tuner.objectives import make_scenario
+    from repro.tuner.runner import run_tune
+
+    width = 4 if quick else 8
+    scenario = make_scenario(
+        "uniform",
+        width=width,
+        warmup=40 if quick else 100,
+        measure=80 if quick else 200,
+        drain=200 if quick else 450,
+        rates=(0.02, 0.08, 0.15),
+    )
+    kwargs = dict(
+        strategy="refine",
+        budget_cycles=5_000_000,
+        seed=1,
+        jobs=1,
+        n0=4 if quick else 8,
+        eta=2,
+        refine_rounds=1,
+        beam=2,
+    )
+    with tempfile.TemporaryDirectory(prefix="bench-tuner-") as tmp:
+        t0 = time.perf_counter()
+        cold = run_tune(scenario, cache=ResultCache(tmp), **kwargs)
+        cold_seconds = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        warm = run_tune(scenario, cache=ResultCache(tmp), **kwargs)
+        warm_seconds = time.perf_counter() - t0
+
+    if warm.total_fresh_simulations != 0:
+        raise AssertionError(
+            f"warm tune replay simulated "
+            f"{warm.total_fresh_simulations} tasks (expected 0)"
+        )
+    cold_frontier = sorted(e.candidate.key() for e in cold.frontier)
+    warm_frontier = sorted(e.candidate.key() for e in warm.frontier)
+    if cold_frontier != warm_frontier:
+        raise AssertionError("warm tune frontier diverges from cold")
+    cold_rounds = [(r.label, r.survivors) for r in cold.rounds]
+    warm_rounds = [(r.label, r.survivors) for r in warm.rounds]
+    if cold_rounds != warm_rounds:
+        raise AssertionError("warm tune promotions diverge from cold")
+
+    speedup = cold_seconds / warm_seconds
+    print(
+        f"  {cold.total_tasks} tasks, {len(cold.evals)} full-fidelity "
+        f"configs: cold={cold_seconds:.2f}s warm={warm_seconds:.3f}s "
+        f"{speedup:.0f}x  warm_fresh=0  frontier={len(cold.frontier)}  "
+        f"dominators={len(cold.dominators)}"
+    )
+    return {
+        "scenario": scenario.name,
+        "strategy": cold.strategy,
+        "tasks": cold.total_tasks,
+        "full_fidelity_configs": len(cold.evals),
+        "frontier_size": len(cold.frontier),
+        "dominators": len(cold.dominators),
+        "spent_cycles": cold.spent_cycles,
+        "cold_seconds": round(cold_seconds, 3),
+        "warm_seconds": round(warm_seconds, 4),
+        "speedup": round(speedup, 3),
+        "cold_fresh_simulations": cold.total_fresh_simulations,
+        "warm_fresh_simulations": warm.total_fresh_simulations,
+        "warm_cache_hits": warm.total_cache_hits,
+        "warm_identical": True,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -1069,9 +1155,11 @@ def main(argv: list[str] | None = None) -> int:
     validate = bench_validate(
         args.quick, reps, args.no_baseline, args.overhead_baseline_rev
     )
+    print("tuner: budgeted tune cold vs warm-cache replay")
+    tuner = bench_tuner(args.quick)
 
     payload = {
-        "schema": "footprint-noc-bench/7",
+        "schema": "footprint-noc-bench/8",
         "timestamp": time.strftime("%Y%m%dT%H%M%S"),
         "quick": args.quick,
         "python": sys.version.split()[0],
@@ -1083,6 +1171,7 @@ def main(argv: list[str] | None = None) -> int:
         "parallel": parallel,
         "telemetry": telemetry,
         "validate": validate,
+        "tuner": tuner,
     }
     out_dir = Path(args.output_dir)
     out_dir.mkdir(parents=True, exist_ok=True)

@@ -17,6 +17,9 @@ simulation or a whole paper experiment::
     footprint-noc submit --routing footprint,dor --rates 0.02,0.05 --wait
     footprint-noc jobs
     footprint-noc leaderboard --ingest-bench benchmarks
+    footprint-noc tune --traffic hotspot --budget 40000000
+    footprint-noc tune report TUNE_hotspot-8x8_20260808-120000.json
+    footprint-noc leaderboard --ingest-tune TUNE_hotspot-8x8_*.json
     footprint-noc list
 
 Validation failures (unknown algorithm or pattern, malformed fault spec,
@@ -483,6 +486,160 @@ def _build_parser() -> argparse.ArgumentParser:
             "before rendering (idempotent)"
         ),
     )
+    leaderboard.add_argument(
+        "--ingest-tune",
+        default=None,
+        metavar="PATH",
+        help=(
+            "fold a TUNE_*.json artifact (or every one under a "
+            "directory) into the store before rendering — each "
+            "frontier config becomes one result record; idempotent "
+            "per file"
+        ),
+    )
+
+    tune = sub.add_parser(
+        "tune",
+        help=(
+            "search the config space (congestion threshold, VC limit, "
+            "VC count, buffer depth, routing) for Pareto-optimal "
+            "latency/throughput/cost configs, evaluating through the "
+            "cached simulation farm"
+        ),
+    )
+    tune.add_argument(
+        "--traffic",
+        default="hotspot",
+        help="traffic pattern of the tuning scenario (default hotspot)",
+    )
+    tune.add_argument("--width", type=int, default=8)
+    tune.add_argument("--seed", type=int, default=1)
+    tune.add_argument(
+        "--scale",
+        choices=["smoke", "bench", "paper"],
+        default="bench",
+        help="full-fidelity cycle counts (default bench)",
+    )
+    tune.add_argument(
+        "--strategy",
+        choices=["random", "halving", "refine"],
+        default="refine",
+        help=(
+            "random = seeded sampling at full fidelity; halving = "
+            "successive halving over fidelity rungs; refine (default) "
+            "= halving plus beam refinement around the frontier"
+        ),
+    )
+    tune.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        metavar="CYCLE_NODES",
+        help=(
+            "search budget in estimated cycle-nodes "
+            "(cycles x mesh nodes per task, cache-independent; "
+            "default: unlimited)"
+        ),
+    )
+    tune.add_argument(
+        "--n0",
+        type=int,
+        default=16,
+        help="initial cohort size (default 16)",
+    )
+    tune.add_argument(
+        "--eta",
+        type=int,
+        default=2,
+        help="halving promotion factor: keep ceil(n/eta) (default 2)",
+    )
+    tune.add_argument(
+        "--beam",
+        type=int,
+        default=4,
+        help="refinement beam width (default 4)",
+    )
+    tune.add_argument(
+        "--refine-rounds",
+        type=int,
+        default=2,
+        help="neighbor-refinement rounds (default 2)",
+    )
+    tune.add_argument(
+        "--rates",
+        default=None,
+        metavar="R,R,...",
+        help=(
+            "evaluation rate ladder, ascending (default: a per-traffic "
+            "4-point ladder)"
+        ),
+    )
+    tune.add_argument(
+        "--latency-rate",
+        type=float,
+        default=None,
+        metavar="R",
+        help=(
+            "ladder rate the latency objective reads (default: the "
+            "middle rung)"
+        ),
+    )
+    tune.add_argument(
+        "--background-rate",
+        type=float,
+        default=0.3,
+        help="hotspot background load (default 0.3)",
+    )
+    tune.add_argument(
+        "--jobs",
+        default=None,
+        type=_jobs_arg,
+        metavar="N|auto",
+        help=(
+            "worker processes (default: REPRO_JOBS, else serial); the "
+            "search trajectory is identical for any value"
+        ),
+    )
+    tune.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help=(
+            "reuse the on-disk result cache (default on — a warm "
+            "cache replays the whole tune with zero simulations)"
+        ),
+    )
+    tune.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "cache directory (default: $REPRO_CACHE_DIR, else "
+            "./.repro-cache)"
+        ),
+    )
+    tune.add_argument(
+        "--engine-mode",
+        choices=["auto", "vector", "skip", "fast", "legacy"],
+        default=None,
+        help="execution engine (default: $REPRO_ENGINE_MODE)",
+    )
+    tune.add_argument(
+        "--out-dir",
+        default=".",
+        metavar="DIR",
+        help="where the TUNE_*.json artifact lands (default: .)",
+    )
+    tune.add_argument(
+        "--no-artifact",
+        action="store_true",
+        help="skip writing the TUNE_*.json artifact",
+    )
+    tune_sub = tune.add_subparsers(dest="tune_command")
+    tune_report = tune_sub.add_parser(
+        "report", help="re-render a TUNE_*.json artifact"
+    )
+    tune_report.add_argument("file", help="artifact written by repro tune")
 
     trace = sub.add_parser(
         "trace", help="inspect recorded flit lifecycle traces"
@@ -986,10 +1143,10 @@ def _cmd_leaderboard(args: argparse.Namespace) -> int:
     from repro.service.leaderboard import LeaderboardStore
 
     if args.address is not None:
-        if args.ingest_bench is not None:
+        if args.ingest_bench is not None or args.ingest_tune is not None:
             raise ServiceError(
-                "--ingest-bench works on the local state dir; drop "
-                "--address (the server ingests its own jobs)"
+                "--ingest-bench/--ingest-tune work on the local state "
+                "dir; drop --address (the server ingests its own jobs)"
             )
         from repro.service.client import ServiceClient
 
@@ -1002,7 +1159,75 @@ def _cmd_leaderboard(args: argparse.Namespace) -> int:
             f"ingested {added} bench records from {args.ingest_bench} "
             f"into {store.path}"
         )
+    if args.ingest_tune is not None:
+        added = store.ingest_tune(args.ingest_tune)
+        print(
+            f"ingested {added} tune frontier records from "
+            f"{args.ingest_tune} into {store.path}"
+        )
     print(store.render())
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    if getattr(args, "tune_command", None) == "report":
+        from repro.tuner.report import load_tune, render_tune
+
+        print(render_tune(load_tune(args.file)))
+        return 0
+
+    from repro.tuner import TunerError
+    from repro.tuner.objectives import make_scenario
+    from repro.tuner.report import render_tune, write_tune_artifact
+    from repro.tuner.runner import run_tune
+
+    rates = None
+    if args.rates is not None:
+        try:
+            rates = tuple(
+                float(r) for r in args.rates.split(",") if r.strip()
+            )
+        except ValueError:
+            raise TunerError(
+                f"--rates expects comma-separated floats, "
+                f"got {args.rates!r}"
+            ) from None
+    scale = {"smoke": exp.SMOKE, "bench": exp.BENCH, "paper": exp.PAPER}[
+        args.scale
+    ]
+    scenario = make_scenario(
+        args.traffic,
+        width=args.width,
+        warmup=scale.warmup,
+        measure=scale.measure,
+        drain=scale.drain,
+        seed=args.seed,
+        rates=rates,
+        latency_rate=args.latency_rate,
+        background_rate=args.background_rate,
+    )
+    cache = None
+    if args.cache or args.cache_dir is not None:
+        from repro.harness.cache import ResultCache
+
+        cache = ResultCache(args.cache_dir)
+    result = run_tune(
+        scenario,
+        strategy=args.strategy,
+        budget_cycles=args.budget,
+        seed=args.seed,
+        jobs=args.jobs,
+        cache=cache,
+        engine_mode=args.engine_mode,
+        n0=args.n0,
+        eta=args.eta,
+        refine_rounds=args.refine_rounds,
+        beam=args.beam,
+    )
+    print(render_tune(result))
+    if not args.no_artifact:
+        path = write_tune_artifact(result, args.out_dir)
+        print(f"\nartifact written to {path}")
     return 0
 
 
@@ -1030,6 +1255,7 @@ def main(argv: list[str] | None = None) -> int:
         "submit": _cmd_submit,
         "jobs": _cmd_jobs,
         "leaderboard": _cmd_leaderboard,
+        "tune": _cmd_tune,
         "list": _cmd_list,
     }
     try:

@@ -23,16 +23,31 @@ machine's CPU count.
 from __future__ import annotations
 
 import os
+import sys
 import zlib
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable
 
+from repro.harness.cost import estimate_config_cycles, estimate_task_cycles
 from repro.sim.config import SimulationConfig
 from repro.sim.results import SimulationResult
 
 if TYPE_CHECKING:
     from repro.harness.cache import ResultCache
+
+__all__ = [
+    "SimTask",
+    "TaskBatchStats",
+    "derive_task_seed",
+    "estimate_config_cycles",
+    "estimate_task_cycles",
+    "partition_tasks",
+    "resolve_jobs",
+    "run_configs",
+    "run_tasks",
+    "run_tasks_accounted",
+]
 
 
 @dataclass(frozen=True)
@@ -95,25 +110,6 @@ def _wants_telemetry(config: SimulationConfig) -> bool:
     """Whether a run of ``config`` must produce collected telemetry."""
     telemetry = config.telemetry
     return telemetry is not None and telemetry.active
-
-
-def estimate_task_cycles(task: SimTask) -> int:
-    """A relative cost estimate for scheduling: simulated cycle-nodes.
-
-    Wall time per task scales with how many cycles the run simulates and
-    how many routers do per-cycle work, so ``cycles x nodes`` is a good
-    (cheap, deterministic) proxy for balancing worker batches.  The
-    drain phase is weighted lightly: it usually terminates long before
-    its budget once in-flight packets land.
-    """
-    config = task.resolved_config()
-    cycles = (
-        config.warmup_cycles
-        + config.measure_cycles
-        + config.drain_cycles // 4
-    )
-    height = config.height if config.height is not None else config.width
-    return max(1, cycles * config.width * height)
 
 
 def partition_tasks(
@@ -219,11 +215,22 @@ def run_tasks(
         # and engine-mode policy — the local cache/jobs arguments do not
         # apply there.  Telemetry-requesting grids stay local: the
         # service dedupes through the telemetry-blind cache and cannot
-        # serve collected series.  Imported lazily because the service
-        # package imports this module.
+        # serve collected series.  An *unreachable* service degrades to
+        # the local pool with a loud stderr warning instead of failing
+        # the sweep: the env var is ambient configuration, and a driver
+        # should not die because the shared server restarted.  Imported
+        # lazily because the service package imports this module.
+        from repro.service import ServiceUnreachable
         from repro.service.client import run_tasks_via_service
 
-        return run_tasks_via_service(task_list, address=service)
+        try:
+            return run_tasks_via_service(task_list, address=service)
+        except ServiceUnreachable as exc:
+            print(
+                f"warning: $REPRO_SERVICE={service} is unreachable "
+                f"({exc}); falling back to the local pool",
+                file=sys.stderr,
+            )
     if cache is None:
         results: list[SimulationResult | None] = [None] * len(task_list)
         pending = list(range(len(task_list)))
@@ -274,3 +281,56 @@ def run_configs(
         cache=cache,
         engine_mode=engine_mode,
     )
+
+
+@dataclass(frozen=True)
+class TaskBatchStats:
+    """Cache/compute accounting for one batch through :func:`run_tasks`.
+
+    ``estimated_cycles`` is the deterministic cost estimate summed over
+    *every* task (hits included) — the number budget accounting should
+    charge so decisions replay identically on a warm cache.
+    ``fresh_simulations``/``cache_hits`` split the batch by how each
+    task was satisfied; with no cache attached every task simulates.
+    """
+
+    tasks: int
+    fresh_simulations: int
+    cache_hits: int
+    estimated_cycles: int
+
+
+def run_tasks_accounted(
+    tasks: Iterable[SimTask],
+    jobs: int | str | None = None,
+    cache: "ResultCache | None" = None,
+    engine_mode: str | None = None,
+) -> tuple[list[SimulationResult], TaskBatchStats]:
+    """:func:`run_tasks` plus per-batch cache-hit/cost accounting.
+
+    The accounting reads the cache's hit/miss counters around the call,
+    so it reflects exactly this batch even when the cache object is
+    shared across rounds.  Used by the auto-tuner to surface, per
+    search round, how much of the round was answered from disk — a
+    warm re-run of a whole tune reports ``fresh_simulations == 0`` on
+    every round.
+    """
+    task_list = list(tasks)
+    estimated = sum(estimate_task_cycles(task) for task in task_list)
+    hits0 = cache.hits if cache is not None else 0
+    misses0 = cache.misses if cache is not None else 0
+    results = run_tasks(
+        task_list, jobs, cache=cache, engine_mode=engine_mode
+    )
+    if cache is not None:
+        hits = cache.hits - hits0
+        fresh = cache.misses - misses0
+    else:
+        hits, fresh = 0, len(task_list)
+    stats = TaskBatchStats(
+        tasks=len(task_list),
+        fresh_simulations=fresh,
+        cache_hits=hits,
+        estimated_cycles=estimated,
+    )
+    return results, stats

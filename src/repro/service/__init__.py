@@ -55,6 +55,17 @@ class ServiceError(ReproError):
     """A service request failed (bad spec, unknown job, protocol error)."""
 
 
+class ServiceUnreachable(ServiceError):
+    """No server answered at the address (connect/transport failure).
+
+    Distinct from :class:`ServiceError` so ambient users of
+    ``$REPRO_SERVICE`` — the :func:`repro.harness.parallel.run_tasks`
+    hook — can fall back to the local pool when the shared server is
+    down, while real request failures (bad spec, failed job) still
+    propagate.
+    """
+
+
 def default_state_dir() -> Path:
     """The state directory: ``$REPRO_SERVICE_DIR`` or ``.repro-service``."""
     return Path(
@@ -68,5 +79,6 @@ __all__ = [
     "SERVICE_DIR_ENV",
     "SERVICE_ENV",
     "ServiceError",
+    "ServiceUnreachable",
     "default_state_dir",
 ]

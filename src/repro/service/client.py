@@ -22,7 +22,12 @@ import time
 from typing import Any, Iterable
 
 from repro.harness.parallel import SimTask
-from repro.service import DEFAULT_PORT, SERVICE_ENV, ServiceError
+from repro.service import (
+    DEFAULT_PORT,
+    SERVICE_ENV,
+    ServiceError,
+    ServiceUnreachable,
+)
 from repro.service.jobs import JobSpec
 from repro.service.protocol import MAX_LINE, decode, encode
 from repro.sim.results import SimulationResult
@@ -83,7 +88,7 @@ class ServiceClient:
                 sock.sendall(encode(request))
                 line = self._read_line(sock)
         except OSError as exc:
-            raise ServiceError(
+            raise ServiceUnreachable(
                 f"cannot reach service at {self.host}:{self.port}: {exc}"
             ) from None
         response = decode(line)

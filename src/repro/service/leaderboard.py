@@ -209,6 +209,70 @@ class LeaderboardStore:
             added += self.append(records)
         return added
 
+    def ingest_tune_file(self, path: str | Path) -> int:
+        """Fold one ``TUNE_*.json`` artifact's frontier into the store.
+
+        Every Pareto-frontier config becomes one ``result`` record at
+        the tune scenario's latency rate, so tuned configs compete on
+        the same per-scenario standings as service jobs.  The source
+        label is ``tune:<filename>`` — re-ingesting the same file is a
+        no-op.
+        """
+        path = Path(path)
+        source = f"tune:{path.name}"
+        if source in self.sources():
+            return 0
+        try:
+            payload = json.loads(path.read_text())
+            tune = payload["tune"]
+            latency_rate = tune["scenario"]["latency_rate"]
+            frontier_keys = set(tune["frontier"])
+            evals = tune["evals"]
+        except (OSError, ValueError, KeyError, TypeError):
+            return 0
+        records = []
+        for entry in evals:
+            try:
+                key = "/".join(
+                    f"{name}={value}"
+                    for name, value in entry["candidate"]
+                )
+                if key not in frontier_keys:
+                    continue
+                config = SimulationConfig.from_dict(entry["config"])
+                point = next(
+                    p
+                    for p in entry["points"]
+                    if p["rate"] == latency_rate
+                )
+            except (KeyError, TypeError, StopIteration):
+                continue
+            records.append(
+                {
+                    "kind": "result",
+                    "scenario": scenario_key(config),
+                    "routing": config.routing,
+                    "avg_latency": point["avg_latency"],
+                    "p99_latency": None,
+                    "accepted_rate": point["accepted_rate"],
+                    "offered_rate": point["offered_rate"],
+                    "drained": point["drained"],
+                    "source": source,
+                    "recorded": round(time.time(), 3),
+                }
+            )
+        return self.append(records)
+
+    def ingest_tune(self, path: str | Path) -> int:
+        """Ingest one artifact, or every ``TUNE_*.json`` under a dir."""
+        path = Path(path)
+        if path.is_dir():
+            return sum(
+                self.ingest_tune_file(p)
+                for p in sorted(path.glob("TUNE_*.json"))
+            )
+        return self.ingest_tune_file(path)
+
     # ------------------------------------------------------------------
     # Rendering
     # ------------------------------------------------------------------

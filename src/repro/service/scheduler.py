@@ -39,12 +39,8 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.harness.cache import ResultCache
-from repro.harness.parallel import (
-    SimTask,
-    _run_task,
-    estimate_task_cycles,
-    resolve_jobs,
-)
+from repro.harness.cost import estimate_task_cycles
+from repro.harness.parallel import SimTask, _run_task, resolve_jobs
 from repro.service import ServiceError
 from repro.service.jobs import (
     KIND_CACHED,

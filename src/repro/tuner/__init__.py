@@ -1,0 +1,72 @@
+"""Search-driven config auto-tuner over the cached simulation farm.
+
+Footprint's knobs — congestion threshold, footprint VC limit, VC count,
+buffer depth, and the routing algorithm itself — interact nonlinearly;
+the ablation benchmarks only grid-scan them one axis at a time.  This
+package searches the joint space:
+
+* :mod:`repro.tuner.space` — a declarative :class:`ParamSpace` of
+  discrete/log axes over :class:`~repro.sim.config.SimulationConfig`
+  fields, with deterministic seeded sampling, neighbor enumeration,
+  and canonicalization (knobs a routing algorithm never reads are
+  normalized away so equivalent candidates share one evaluation);
+* :mod:`repro.tuner.objectives` — scenarios (base config + evaluation
+  rate ladder), fidelity rungs, and the three objectives scored per
+  candidate: average latency, saturation throughput, and the
+  :mod:`repro.core.cost` storage model;
+* :mod:`repro.tuner.pareto` — exact multi-objective dominance and
+  Pareto-frontier extraction plus the deterministic candidate ranking
+  the search strategies promote by;
+* :mod:`repro.tuner.strategies` — seeded, deterministic search:
+  random baseline, successive halving over fidelity rungs, and
+  beam/coordinate refinement around the incumbent frontier;
+* :mod:`repro.tuner.runner` — the orchestration loop: candidate
+  batches evaluate exclusively through
+  :func:`repro.harness.parallel.run_tasks`, so the persistent
+  :class:`~repro.harness.cache.ResultCache`, the LPT process pool,
+  and the ``$REPRO_SERVICE`` job routing all apply for free;
+* :mod:`repro.tuner.report` — ``TUNE_*.json`` artifacts and the
+  frontier/best-config tables rendered by ``repro tune``.
+
+Budgets are spent in *estimated* cycle-nodes (the shared
+:func:`repro.harness.cost.estimate_task_cycles` model), independent of
+cache hits, so a warm-cache re-run of any tune replays the exact same
+search — same rounds, same survivors, same frontier — with zero fresh
+simulations.
+"""
+
+from repro.exceptions import ReproError
+
+
+class TunerError(ReproError):
+    """An invalid tuner request (bad space, scenario, budget, strategy)."""
+
+
+from repro.tuner.objectives import (  # noqa: E402
+    OBJECTIVES,
+    CandidateEval,
+    Objective,
+    Rung,
+    Scenario,
+    config_cost_bits,
+)
+from repro.tuner.pareto import pareto_frontier, rank_evals  # noqa: E402
+from repro.tuner.runner import TuneResult, run_tune  # noqa: E402
+from repro.tuner.space import Axis, Candidate, ParamSpace  # noqa: E402
+
+__all__ = [
+    "Axis",
+    "Candidate",
+    "CandidateEval",
+    "OBJECTIVES",
+    "Objective",
+    "ParamSpace",
+    "Rung",
+    "Scenario",
+    "TuneResult",
+    "TunerError",
+    "config_cost_bits",
+    "pareto_frontier",
+    "rank_evals",
+    "run_tune",
+]

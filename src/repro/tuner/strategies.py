@@ -1,0 +1,209 @@
+"""Seeded, deterministic search strategies.
+
+Every strategy talks to the runner through a narrow context interface
+(:class:`repro.tuner.runner.TuneContext`): ``affordable`` trims a
+candidate list to what the remaining budget covers, ``evaluate`` scores
+a batch at a fidelity rung (through the cached harness), and
+``record_survivors`` annotates the just-finished round with the keys
+the strategy promoted — the hook the determinism tests compare across
+worker counts and cache temperatures.
+
+Determinism contract: given the same space, scenario, seed, and budget,
+a strategy must request the exact same evaluations in the exact same
+order regardless of ``--jobs`` or cache state.  That falls out of three
+rules every strategy here follows: draw candidates only from seeded
+:meth:`ParamSpace.sample`, rank only with :func:`rank_evals` (a total
+order on values), and never consult wall-clock time or cache hit/miss
+counts when deciding anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.tuner import TunerError
+from repro.tuner.objectives import CandidateEval
+from repro.tuner.pareto import pareto_frontier, rank_evals
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.tuner.runner import TuneContext
+
+
+class Strategy:
+    """Base class: produce full-fidelity evaluations under a budget."""
+
+    name = "strategy"
+
+    def search(self, ctx: "TuneContext") -> list[CandidateEval]:
+        raise NotImplementedError
+
+
+@dataclass
+class RandomSearch(Strategy):
+    """Seeded random sampling, every candidate at full fidelity."""
+
+    n: int = 16
+    name = "random"
+
+    def search(self, ctx: "TuneContext") -> list[CandidateEval]:
+        candidates = ctx.space.sample(self.n, ctx.seed, ctx.scenario.base)
+        candidates = ctx.affordable(candidates, ctx.full_rung)
+        if not candidates:
+            return []
+        return ctx.evaluate(candidates, ctx.full_rung, "random")
+
+
+@dataclass
+class SuccessiveHalving(Strategy):
+    """Promote the top ``1/eta`` through successively richer rungs.
+
+    The initial cohort of ``n0`` seeded samples is scored on the
+    cheapest rung; each round keeps ``ceil(len/eta)`` by the
+    deterministic :func:`rank_evals` order and re-scores them one rung
+    up, finishing with the survivors at full fidelity.  If the budget
+    cannot cover a whole round, the *trailing* candidates are dropped
+    (rank order again), never a random subset.
+    """
+
+    n0: int = 16
+    eta: int = 2
+    name = "halving"
+
+    def __post_init__(self) -> None:
+        if self.n0 < 1:
+            raise TunerError(f"halving n0 must be >= 1, got {self.n0}")
+        if self.eta < 2:
+            raise TunerError(f"halving eta must be >= 2, got {self.eta}")
+
+    def search(self, ctx: "TuneContext") -> list[CandidateEval]:
+        candidates = ctx.space.sample(
+            self.n0, ctx.seed, ctx.scenario.base
+        )
+        final: list[CandidateEval] = []
+        for rung in ctx.rungs:
+            candidates = ctx.affordable(candidates, rung)
+            if not candidates:
+                break
+            evals = ctx.evaluate(
+                candidates, rung, f"halving-{rung.name}"
+            )
+            ranked = rank_evals(evals)
+            if rung.full_fidelity:
+                final = evals
+                ctx.record_survivors(
+                    [e.candidate.key() for e in ranked]
+                )
+                break
+            keep = max(1, -(-len(ranked) // self.eta))  # ceil division
+            survivors = ranked[:keep]
+            ctx.record_survivors([e.candidate.key() for e in survivors])
+            candidates = [e.candidate for e in survivors]
+        return final
+
+
+@dataclass
+class BeamRefine(Strategy):
+    """Hill-climb around the incumbent frontier at full fidelity.
+
+    Each round takes the best ``beam`` evals (by :func:`rank_evals`),
+    enumerates their one-step axis neighbors, drops any candidate
+    already scored at full fidelity, and evaluates the rest.  Stops
+    when a round yields no affordable unseen move.
+    """
+
+    rounds: int = 2
+    beam: int = 4
+    name = "refine"
+
+    def __post_init__(self) -> None:
+        if self.rounds < 1:
+            raise TunerError(
+                f"refine rounds must be >= 1, got {self.rounds}"
+            )
+        if self.beam < 1:
+            raise TunerError(f"refine beam must be >= 1, got {self.beam}")
+
+    def refine(
+        self, ctx: "TuneContext", evals: list[CandidateEval]
+    ) -> list[CandidateEval]:
+        all_evals = list(evals)
+        seen = {e.candidate for e in all_evals}
+        for round_index in range(self.rounds):
+            incumbents = rank_evals(all_evals)[: self.beam]
+            moves = []
+            move_seen = set()
+            for incumbent in incumbents:
+                for neighbor in ctx.space.neighbors(
+                    incumbent.candidate, ctx.scenario.base
+                ):
+                    if neighbor in seen or neighbor in move_seen:
+                        continue
+                    move_seen.add(neighbor)
+                    moves.append(neighbor)
+            moves = ctx.affordable(moves, ctx.full_rung)
+            if not moves:
+                break
+            new_evals = ctx.evaluate(
+                moves, ctx.full_rung, f"refine-{round_index + 1}"
+            )
+            seen.update(e.candidate for e in new_evals)
+            all_evals.extend(new_evals)
+            ctx.record_survivors(
+                [
+                    e.candidate.key()
+                    for e in pareto_frontier(all_evals)
+                ]
+            )
+        return all_evals
+
+    def search(self, ctx: "TuneContext") -> list[CandidateEval]:
+        seeds = ctx.affordable(
+            ctx.space.sample(self.beam, ctx.seed, ctx.scenario.base),
+            ctx.full_rung,
+        )
+        if seeds:
+            ctx.evaluate(seeds, ctx.full_rung, "refine-seed")
+        return self.refine(ctx, ctx.known_full_evals())
+
+
+@dataclass
+class HalvingThenRefine(Strategy):
+    """The default pipeline: successive halving, then beam refinement."""
+
+    n0: int = 16
+    eta: int = 2
+    rounds: int = 2
+    beam: int = 4
+    name = "halving+refine"
+
+    def search(self, ctx: "TuneContext") -> list[CandidateEval]:
+        halving = SuccessiveHalving(n0=self.n0, eta=self.eta)
+        halving.search(ctx)
+        refine = BeamRefine(rounds=self.rounds, beam=self.beam)
+        # Refine from everything known at full fidelity — the halving
+        # survivors plus the budget-exempt default baseline — so the
+        # default's one-step neighborhood is always explored.
+        return refine.refine(ctx, ctx.known_full_evals())
+
+
+def make_strategy(
+    name: str,
+    n0: int = 16,
+    eta: int = 2,
+    refine_rounds: int = 2,
+    beam: int = 4,
+) -> Strategy:
+    """Build a strategy from its CLI name."""
+    if name == "random":
+        return RandomSearch(n=n0)
+    if name == "halving":
+        return SuccessiveHalving(n0=n0, eta=eta)
+    if name == "refine":
+        return HalvingThenRefine(
+            n0=n0, eta=eta, rounds=refine_rounds, beam=beam
+        )
+    raise TunerError(
+        f"unknown strategy '{name}' "
+        f"(choose from: random, halving, refine)"
+    )

@@ -28,7 +28,7 @@ def test_quick_bench_writes_report(run_bench, tmp_path):
     assert len(reports) == 1
     payload = json.loads(reports[0].read_text())
 
-    assert payload["schema"] == "footprint-noc-bench/7"
+    assert payload["schema"] == "footprint-noc-bench/8"
     assert payload["quick"] is True
 
     engine = payload["engine"]
@@ -96,3 +96,12 @@ def test_quick_bench_writes_report(run_bench, tmp_path):
         assert entry["checks_run"] > 0
     assert validate["overhead_budget"] == run_bench.VALIDATE_OVERHEAD_BUDGET
     assert validate["baseline"] == {"skipped": "--no-baseline"}
+
+    tuner = payload["tuner"]
+    assert tuner["frontier_size"] > 0
+    assert tuner["full_fidelity_configs"] >= tuner["frontier_size"]
+    assert tuner["cold_fresh_simulations"] > 0
+    assert tuner["warm_fresh_simulations"] == 0
+    assert tuner["warm_cache_hits"] == tuner["tasks"]
+    assert tuner["warm_identical"] is True
+    assert tuner["spent_cycles"] > 0

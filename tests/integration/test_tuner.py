@@ -1,0 +1,181 @@
+"""Integration tests for the tuner: determinism and cache discipline.
+
+The tuner's central contract is that the *search trajectory* — which
+candidates are evaluated, in which rounds, and who survives each
+promotion — is a pure function of (space, scenario, seed, budget).
+Worker count and cache temperature may only change wall-clock and the
+fresh/hit accounting, never a decision.
+"""
+
+import pytest
+
+from repro.harness.cache import ResultCache
+from repro.tuner.objectives import make_scenario
+from repro.tuner.report import load_tune, write_tune_artifact
+from repro.tuner.runner import run_tune
+
+
+def _scenario():
+    return make_scenario(
+        "uniform",
+        width=4,
+        warmup=20,
+        measure=40,
+        drain=120,
+        rates=(0.02, 0.08, 0.15),
+    )
+
+
+def _tune(cache, jobs):
+    return run_tune(
+        _scenario(),
+        strategy="halving",
+        budget_cycles=1_500_000,
+        seed=5,
+        jobs=jobs,
+        cache=cache,
+        n0=6,
+        eta=2,
+    )
+
+
+def _trajectory(result):
+    return [
+        (r.label, r.rung, r.candidates, r.tasks, r.survivors)
+        for r in result.rounds
+    ]
+
+
+def _frontier_keys(result):
+    return sorted(e.candidate.key() for e in result.frontier)
+
+
+def test_halving_identical_across_worker_counts(tmp_path):
+    serial = _tune(ResultCache(tmp_path / "serial"), jobs=1)
+    pooled = _tune(ResultCache(tmp_path / "pooled"), jobs=4)
+    assert _trajectory(serial) == _trajectory(pooled)
+    assert _frontier_keys(serial) == _frontier_keys(pooled)
+    assert [e.candidate.key() for e in serial.evals] == [
+        e.candidate.key() for e in pooled.evals
+    ]
+    for a, b in zip(serial.evals, pooled.evals):
+        assert a.avg_latency == b.avg_latency
+        assert a.saturation_throughput == b.saturation_throughput
+        assert a.cost_bits == b.cost_bits
+    assert serial.spent_cycles == pooled.spent_cycles
+
+
+def test_warm_cache_replays_search_with_zero_fresh(tmp_path):
+    cache_dir = tmp_path / "cache"
+    cold = _tune(ResultCache(cache_dir), jobs=1)
+    assert cold.total_fresh_simulations > 0
+    warm = _tune(ResultCache(cache_dir), jobs=1)
+    assert warm.total_fresh_simulations == 0
+    assert all(r.fresh_simulations == 0 for r in warm.rounds)
+    assert warm.total_cache_hits == warm.total_tasks
+    assert _trajectory(cold) == _trajectory(warm)
+    assert _frontier_keys(cold) == _frontier_keys(warm)
+    assert cold.spent_cycles == warm.spent_cycles
+
+
+def test_frontier_is_full_fidelity_and_contains_defaults_competitor(
+    tmp_path,
+):
+    result = _tune(ResultCache(tmp_path / "c"), jobs=1)
+    assert result.frontier
+    assert all(e.rung == "full" for e in result.frontier)
+    assert all(e.rung == "full" for e in result.evals)
+    # The budget-exempt default baseline is always a full-fidelity eval.
+    default_key = result.default_eval.candidate.key()
+    assert default_key in {e.candidate.key() for e in result.evals}
+    # Dominators, when present, must strictly beat the default somewhere
+    # and never lose anywhere.
+    for entry in result.dominators:
+        assert entry.avg_latency <= result.default_eval.avg_latency
+        assert (
+            entry.saturation_throughput
+            >= result.default_eval.saturation_throughput
+        )
+        assert entry.cost_bits <= result.default_eval.cost_bits
+
+
+def test_budget_trims_work(tmp_path):
+    scenario = _scenario()
+    small = run_tune(
+        scenario,
+        strategy="halving",
+        budget_cycles=10_000,
+        seed=5,
+        jobs=1,
+        cache=ResultCache(tmp_path / "small"),
+        n0=6,
+    )
+    big = run_tune(
+        scenario,
+        strategy="halving",
+        budget_cycles=1_500_000,
+        seed=5,
+        jobs=1,
+        cache=ResultCache(tmp_path / "big"),
+        n0=6,
+    )
+    assert small.spent_cycles <= 10_000
+    assert small.total_tasks < big.total_tasks
+    # The default baseline is evaluated even when the budget covers
+    # nothing else.
+    assert small.default_eval is not None
+    assert small.frontier
+
+
+def test_artifact_roundtrip(tmp_path):
+    result = _tune(ResultCache(tmp_path / "c"), jobs=1)
+    path = write_tune_artifact(
+        result, tmp_path, filename="TUNE_test.json"
+    )
+    loaded = load_tune(path)
+    assert _frontier_keys(loaded) == _frontier_keys(result)
+    assert _trajectory(loaded) == _trajectory(result)
+    assert loaded.scenario == result.scenario
+    assert loaded.spent_cycles == result.spent_cycles
+    assert (
+        loaded.default_eval.candidate == result.default_eval.candidate
+    )
+
+
+def test_random_strategy_deterministic(tmp_path):
+    scenario = _scenario()
+    kwargs = dict(
+        strategy="random",
+        budget_cycles=1_500_000,
+        seed=9,
+        jobs=1,
+        n0=5,
+    )
+    a = run_tune(scenario, cache=ResultCache(tmp_path / "a"), **kwargs)
+    b = run_tune(scenario, cache=ResultCache(tmp_path / "b"), **kwargs)
+    assert [e.candidate.key() for e in a.evals] == [
+        e.candidate.key() for e in b.evals
+    ]
+
+
+def test_tune_without_cache_runs_fresh(tmp_path):
+    result = run_tune(
+        _scenario(),
+        strategy="random",
+        budget_cycles=400_000,
+        seed=2,
+        jobs=1,
+        cache=None,
+        n0=3,
+    )
+    assert result.total_fresh_simulations == result.total_tasks
+    assert result.total_cache_hits == 0
+
+
+def test_invalid_budget_rejected(tmp_path):
+    from repro.tuner import TunerError
+
+    with pytest.raises(TunerError):
+        run_tune(_scenario(), budget_cycles=0)
+    with pytest.raises(TunerError):
+        run_tune(_scenario(), strategy="genetic")

@@ -199,3 +199,27 @@ class TestRunTasks:
             assert a.cycles_run == b.cycles_run
             assert a.accepted_flits == b.accepted_flits
             assert tuple(a.latency._samples) == tuple(b.latency._samples)
+
+
+class TestServiceFallback:
+    """$REPRO_SERVICE must degrade loudly, never fail the sweep."""
+
+    def test_unreachable_service_falls_back_to_local_pool(
+        self, config, monkeypatch, capsys
+    ):
+        # Port 1 on loopback: connection is refused immediately.
+        monkeypatch.setenv("REPRO_SERVICE", "127.0.0.1:1")
+        tasks = [SimTask(config, rate=0.05)]
+        results = run_tasks(tasks, jobs=1)
+        err = capsys.readouterr().err
+        assert "REPRO_SERVICE=127.0.0.1:1" in err
+        assert "falling back to the local pool" in err
+        monkeypatch.delenv("REPRO_SERVICE")
+        local = run_tasks(tasks, jobs=1)
+        assert results[0].accepted_flits == local[0].accepted_flits
+        assert results[0].cycles_run == local[0].cycles_run
+
+    def test_unset_service_stays_silent(self, config, monkeypatch, capsys):
+        monkeypatch.delenv("REPRO_SERVICE", raising=False)
+        run_tasks([SimTask(config, rate=0.05)], jobs=1)
+        assert capsys.readouterr().err == ""

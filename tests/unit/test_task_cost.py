@@ -1,0 +1,81 @@
+"""Direct tests for the shared per-task cost model (repro.harness.cost).
+
+The estimate is the currency of both the service scheduler's fair
+queueing and the tuner's budget accounting, so its invariants get
+pinned here: pure function of the config, cache-independent, monotone
+in cycles and mesh size, drain discounted.
+"""
+
+from repro.harness.cost import (
+    DRAIN_WEIGHT_DIVISOR,
+    estimate_config_cycles,
+    estimate_task_cycles,
+)
+from repro.harness.parallel import SimTask
+from repro.sim.config import SimulationConfig
+
+
+def _config(**overrides):
+    base = dict(
+        width=4,
+        num_vcs=4,
+        routing="dor",
+        injection_rate=0.05,
+        warmup_cycles=100,
+        measure_cycles=200,
+        drain_cycles=400,
+    )
+    base.update(overrides)
+    return SimulationConfig(**base)
+
+
+def test_estimate_is_cycles_times_nodes():
+    config = _config()
+    expected = (100 + 200 + 400 // DRAIN_WEIGHT_DIVISOR) * 16
+    assert estimate_config_cycles(config) == expected
+
+
+def test_drain_is_discounted():
+    light = _config(drain_cycles=400)
+    heavy = _config(drain_cycles=400 + 4 * DRAIN_WEIGHT_DIVISOR)
+    # DRAIN_WEIGHT_DIVISOR extra drain cycles cost like 1 normal cycle.
+    assert (
+        estimate_config_cycles(heavy) - estimate_config_cycles(light)
+        == 4 * 16
+    )
+
+
+def test_rectangular_mesh_uses_height():
+    square = _config(width=4)
+    rect = _config(width=4, height=8)
+    assert estimate_config_cycles(rect) == 2 * estimate_config_cycles(square)
+
+
+def test_monotone_in_mesh_and_cycles():
+    assert estimate_config_cycles(_config(width=8)) > estimate_config_cycles(
+        _config(width=4)
+    )
+    assert estimate_config_cycles(
+        _config(measure_cycles=500)
+    ) > estimate_config_cycles(_config(measure_cycles=200))
+
+
+def test_never_below_one():
+    tiny = _config(warmup_cycles=0, measure_cycles=0, drain_cycles=0)
+    assert estimate_config_cycles(tiny) == 1
+
+
+def test_task_estimate_uses_resolved_config():
+    config = _config(injection_rate=0.05)
+    task = SimTask(config, rate=0.3)
+    # The rate override changes the config identity but not its cost.
+    assert estimate_task_cycles(task) == estimate_config_cycles(
+        task.resolved_config()
+    )
+    assert estimate_task_cycles(task) == estimate_config_cycles(config)
+
+
+def test_estimate_ignores_seed_and_routing():
+    a = estimate_config_cycles(_config(seed=1, routing="dor"))
+    b = estimate_config_cycles(_config(seed=99, routing="footprint"))
+    assert a == b

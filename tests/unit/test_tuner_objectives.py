@@ -1,0 +1,271 @@
+"""Unit tests for tuner scenarios, rungs, and objective scoring."""
+
+import math
+
+import pytest
+
+from repro.core.cost import CostModel
+from repro.harness.cache import config_cache_key
+from repro.metrics.stats import LatencyStats
+from repro.router.router import BlockingStats
+from repro.sim.config import SimulationConfig
+from repro.sim.results import SimulationResult
+from repro.tuner import TunerError
+from repro.tuner.objectives import (
+    FLIT_BITS,
+    FULL_RUNG,
+    Rung,
+    Scenario,
+    config_cost_bits,
+    default_rungs,
+    eval_from_results,
+    make_scenario,
+    tasks_for,
+)
+from repro.tuner.space import ParamSpace
+
+
+BASE = SimulationConfig(
+    width=4,
+    num_vcs=4,
+    routing="footprint",
+    injection_rate=0.02,
+    warmup_cycles=40,
+    measure_cycles=100,
+    drain_cycles=200,
+)
+
+
+def _result(config, latencies, accepted, created=10, ejected=10):
+    stats = LatencyStats()
+    stats.extend(latencies)
+    return SimulationResult(
+        config=config,
+        cycles_run=config.warmup_cycles + config.measure_cycles,
+        latency=stats,
+        latency_by_flow={},
+        accepted_flits=accepted,
+        offered_flits=accepted,
+        measured_created=created,
+        measured_ejected=ejected,
+        blocking=BlockingStats(),
+    )
+
+
+# ----------------------------------------------------------------------
+# Cost objective
+# ----------------------------------------------------------------------
+def test_cost_bits_buffers_only_for_oblivious_routing():
+    config = BASE.with_(routing="dor", num_vcs=4, vc_buffer_depth=4)
+    assert config_cost_bits(config) == 4 * 4 * FLIT_BITS
+
+
+def test_cost_bits_adds_congestion_and_footprint_state():
+    dor = config_cost_bits(BASE.with_(routing="dor"))
+    dbar = config_cost_bits(BASE.with_(routing="dbar"))
+    footprint = config_cost_bits(BASE.with_(routing="footprint"))
+    model = CostModel(BASE.num_nodes, BASE.num_vcs)
+    assert dbar == dor + model.idle_counter_bits
+    assert footprint == dbar + model.owner_table_bits + model.state_bits
+
+
+def test_cost_bits_scales_with_buffering():
+    small = config_cost_bits(BASE.with_(num_vcs=2, vc_buffer_depth=2))
+    big = config_cost_bits(BASE.with_(num_vcs=8, vc_buffer_depth=4))
+    assert big > small
+
+
+# ----------------------------------------------------------------------
+# Scenario
+# ----------------------------------------------------------------------
+def test_scenario_validation():
+    with pytest.raises(TunerError):
+        Scenario("s", BASE, rates=())
+    with pytest.raises(TunerError):
+        Scenario("s", BASE, rates=(0.2, 0.1))
+    with pytest.raises(TunerError):
+        Scenario("s", BASE, rates=(0.1, 0.1))
+    with pytest.raises(TunerError):
+        Scenario("s", BASE, rates=(0.1, 0.2), latency_rate=0.15)
+    with pytest.raises(TunerError):
+        Scenario("s", BASE, rates=(0.1,), rate_field="warmup_cycles")
+
+
+def test_scenario_latency_rate_defaults_to_middle():
+    scenario = Scenario("s", BASE, rates=(0.1, 0.2, 0.3))
+    assert scenario.latency_rate == 0.2
+
+
+def test_make_scenario_hotspot_sweeps_hotspot_rate():
+    scenario = make_scenario("hotspot", width=4)
+    assert scenario.rate_field == "hotspot_rate"
+    assert scenario.base.traffic == "hotspot"
+    uniform = make_scenario("uniform", width=4)
+    assert uniform.rate_field == "injection_rate"
+
+
+def test_scenario_roundtrip():
+    scenario = make_scenario("transpose", width=4, rates=(0.05, 0.1))
+    again = Scenario.from_dict(scenario.to_dict())
+    assert again == scenario
+
+
+# ----------------------------------------------------------------------
+# Rungs
+# ----------------------------------------------------------------------
+def test_rung_scales_cycles_with_floors():
+    rung = Rung("probe", 0.25)
+    scaled = rung.apply(BASE)
+    assert scaled.warmup_cycles == 10
+    assert scaled.measure_cycles == 25
+    assert scaled.drain_cycles == 50
+    # Floors hold for very short bases.
+    tiny = rung.apply(
+        BASE.with_(warmup_cycles=8, measure_cycles=12, drain_cycles=20)
+    )
+    assert tiny.warmup_cycles == 10
+    assert tiny.measure_cycles == 20
+    assert tiny.drain_cycles == 50
+
+
+def test_rung_width_override_changes_cache_key():
+    big = SimulationConfig(
+        width=8,
+        num_vcs=4,
+        routing="dor",
+        injection_rate=0.05,
+        warmup_cycles=40,
+        measure_cycles=100,
+        drain_cycles=200,
+    )
+    rung = Rung("probe", 0.25, width=4)
+    scaled = rung.apply(big)
+    assert scaled.width == 4
+    assert config_cache_key(scaled) != config_cache_key(big)
+    assert FULL_RUNG.apply(big) is big
+
+
+def test_rung_validation():
+    with pytest.raises(TunerError):
+        Rung("bad", 0.0)
+    with pytest.raises(TunerError):
+        Rung("bad", 1.5)
+    with pytest.raises(TunerError):
+        Rung("bad", 0.5, width=1)
+
+
+def test_default_rungs_end_full_fidelity():
+    rungs = default_rungs(BASE)
+    assert rungs[-1].full_fidelity
+    assert rungs[0].cycle_scale < rungs[-1].cycle_scale
+
+
+# ----------------------------------------------------------------------
+# Evaluation
+# ----------------------------------------------------------------------
+def _scenario():
+    return Scenario("s", BASE, rates=(0.05, 0.1, 0.2), latency_rate=0.1)
+
+
+def test_tasks_for_covers_ladder_with_distinct_rungs():
+    scenario = _scenario()
+    space = ParamSpace.default()
+    candidate = space.default_candidate()
+    full = tasks_for(scenario, space, candidate, FULL_RUNG)
+    probe = tasks_for(scenario, space, candidate, Rung("probe", 0.25))
+    assert len(full) == len(scenario.rates)
+    full_keys = {config_cache_key(t.resolved_config()) for t in full}
+    probe_keys = {config_cache_key(t.resolved_config()) for t in probe}
+    assert not full_keys & probe_keys  # rung configs never collide
+
+
+def test_eval_scores_objectives():
+    scenario = _scenario()
+    space = ParamSpace.default()
+    candidate = space.default_candidate()
+    configs = [
+        t.resolved_config()
+        for t in tasks_for(scenario, space, candidate, FULL_RUNG)
+    ]
+    window = BASE.measure_cycles * BASE.num_nodes
+    results = [
+        _result(configs[0], [10, 10], int(0.05 * window)),
+        _result(configs[1], [12, 12], int(0.10 * window)),
+        # Saturated: latency > 3x the zero-load reference.
+        _result(configs[2], [50, 50], int(0.12 * window)),
+    ]
+    evaluation = eval_from_results(scenario, candidate, FULL_RUNG, results)
+    assert evaluation.avg_latency == 12.0
+    # Best accepted rate over the stable (non-saturated) prefix.
+    assert evaluation.saturation_throughput == pytest.approx(
+        results[1].accepted_rate
+    )
+    assert evaluation.points[2].saturated
+    assert not evaluation.points[1].saturated
+    assert evaluation.cost_bits == config_cost_bits(configs[1])
+    assert evaluation.config == configs[1]
+
+
+def test_eval_nan_reference_saturates_everything():
+    scenario = _scenario()
+    space = ParamSpace.default()
+    candidate = space.default_candidate()
+    configs = [
+        t.resolved_config()
+        for t in tasks_for(scenario, space, candidate, FULL_RUNG)
+    ]
+    results = [
+        _result(c, [], 0, created=5, ejected=0) for c in configs
+    ]
+    evaluation = eval_from_results(scenario, candidate, FULL_RUNG, results)
+    assert math.isinf(evaluation.avg_latency)
+    assert evaluation.saturation_throughput == 0.0
+    assert all(p.saturated for p in evaluation.points)
+
+
+def test_eval_undrained_point_is_saturated():
+    scenario = _scenario()
+    space = ParamSpace.default()
+    candidate = space.default_candidate()
+    configs = [
+        t.resolved_config()
+        for t in tasks_for(scenario, space, candidate, FULL_RUNG)
+    ]
+    results = [
+        _result(configs[0], [10], 5),
+        _result(configs[1], [11], 8, created=10, ejected=9),  # undrained
+        _result(configs[2], [12], 9),
+    ]
+    evaluation = eval_from_results(scenario, candidate, FULL_RUNG, results)
+    assert not evaluation.points[0].saturated
+    assert evaluation.points[1].saturated
+    # Stable prefix stops at the first saturated point.
+    assert evaluation.saturation_throughput == pytest.approx(
+        results[0].accepted_rate
+    )
+
+
+def test_eval_roundtrip_dict():
+    scenario = _scenario()
+    space = ParamSpace.default()
+    candidate = space.default_candidate()
+    configs = [
+        t.resolved_config()
+        for t in tasks_for(scenario, space, candidate, FULL_RUNG)
+    ]
+    results = [_result(c, [10, 14], 6) for c in configs]
+    evaluation = eval_from_results(scenario, candidate, FULL_RUNG, results)
+    again = type(evaluation).from_dict(evaluation.to_dict())
+    assert again.candidate == evaluation.candidate
+    assert again.avg_latency == evaluation.avg_latency
+    assert again.cost_bits == evaluation.cost_bits
+    assert again.points == evaluation.points
+    assert again.config == evaluation.config
+
+
+def test_eval_result_count_mismatch_raises():
+    scenario = _scenario()
+    space = ParamSpace.default()
+    candidate = space.default_candidate()
+    with pytest.raises(TunerError):
+        eval_from_results(scenario, candidate, FULL_RUNG, [])

@@ -1,0 +1,84 @@
+"""Unit tests for Pareto dominance, frontiers, and ranking."""
+
+from repro.tuner.objectives import CandidateEval
+from repro.tuner.pareto import (
+    dominates,
+    pareto_frontier,
+    pareto_indices,
+    rank_evals,
+)
+from repro.tuner.space import Candidate
+
+
+def _eval(name, latency, throughput, cost):
+    return CandidateEval(
+        candidate=Candidate((("name", name),)),
+        rung="full",
+        avg_latency=latency,
+        saturation_throughput=throughput,
+        cost_bits=cost,
+    )
+
+
+def brute_force_indices(vectors):
+    return [
+        i
+        for i, v in enumerate(vectors)
+        if not any(
+            dominates(w, v) for j, w in enumerate(vectors) if j != i
+        )
+    ]
+
+
+def test_dominates_basics():
+    assert dominates((1, 1), (2, 2))
+    assert dominates((1, 2), (1, 3))
+    assert not dominates((1, 1), (1, 1))  # equal: no strict improvement
+    assert not dominates((1, 3), (2, 2))  # trade-off
+    assert not dominates((2, 2), (1, 1))
+
+
+def test_frontier_matches_brute_force_on_fixed_cases():
+    cases = [
+        [(1.0, 2.0), (2.0, 1.0), (3.0, 3.0)],
+        [(1.0, 1.0), (1.0, 1.0), (2.0, 0.5)],  # duplicates both survive
+        [(0.0,), (1.0,), (2.0,)],
+        [(1.0, 2.0, 3.0), (3.0, 2.0, 1.0), (2.0, 2.0, 2.0)],
+        [],
+    ]
+    for vectors in cases:
+        assert pareto_indices(vectors) == brute_force_indices(vectors)
+
+
+def test_frontier_keeps_input_order():
+    evals = [
+        _eval("b", 2.0, 0.5, 100.0),
+        _eval("a", 1.0, 0.5, 200.0),
+        _eval("worse", 3.0, 0.4, 300.0),
+    ]
+    frontier = pareto_frontier(evals)
+    assert [e.candidate.key() for e in frontier] == ["name=b", "name=a"]
+
+
+def test_maximized_objective_negated():
+    # Same latency/cost, higher throughput must dominate.
+    better = _eval("hi", 1.0, 0.9, 100.0)
+    worse = _eval("lo", 1.0, 0.5, 100.0)
+    assert pareto_frontier([worse, better]) == [better]
+
+
+def test_rank_is_total_and_order_independent():
+    evals = [
+        _eval("a", 1.0, 0.5, 100.0),
+        _eval("b", 2.0, 0.6, 100.0),
+        _eval("c", 2.0, 0.5, 100.0),  # dominated by b
+        _eval("d", 1.0, 0.5, 100.0),  # ties a on values, key breaks it
+    ]
+    ranked = [e.candidate.key() for e in rank_evals(evals)]
+    reversed_rank = [
+        e.candidate.key() for e in rank_evals(list(reversed(evals)))
+    ]
+    assert ranked == reversed_rank
+    assert set(ranked[:3]) == {"name=a", "name=d", "name=b"}
+    assert ranked[-1] == "name=c"  # dominated layer ranks last
+    assert ranked.index("name=a") < ranked.index("name=d")  # key tiebreak

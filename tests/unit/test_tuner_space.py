@@ -1,0 +1,194 @@
+"""Unit tests for the tuner's parameter space layer."""
+
+import pytest
+
+from repro.sim.config import SimulationConfig
+from repro.tuner import TunerError
+from repro.tuner.space import Axis, Candidate, ParamSpace
+
+
+BASE = SimulationConfig(
+    width=4,
+    num_vcs=4,
+    routing="footprint",
+    injection_rate=0.05,
+    warmup_cycles=20,
+    measure_cycles=40,
+    drain_cycles=100,
+)
+
+
+# ----------------------------------------------------------------------
+# Axis
+# ----------------------------------------------------------------------
+def test_axis_validation():
+    with pytest.raises(TunerError):
+        Axis("x", (), default=1)
+    with pytest.raises(TunerError):
+        Axis("x", (1, 2), default=3)
+    with pytest.raises(TunerError):
+        Axis("x", (1, 1), default=1)
+    with pytest.raises(TunerError):
+        Axis("x", (1, 2), default=1, kind="weird")
+
+
+def test_log_range_includes_default():
+    axis = Axis.log_range("vc_buffer_depth", 2, 8, default=4)
+    assert axis.values == (2, 4, 8)
+    axis = Axis.log_range("vc_buffer_depth", 2, 8, default=6)
+    assert 6 in axis.values  # off-grid default is spliced in, sorted
+    assert axis.values == tuple(sorted(axis.values))
+
+
+def test_index_of_rejects_foreign_value():
+    axis = Axis("num_vcs", (2, 4), default=2)
+    with pytest.raises(TunerError):
+        axis.index_of(3)
+
+
+# ----------------------------------------------------------------------
+# ParamSpace basics
+# ----------------------------------------------------------------------
+def test_space_rejects_non_config_fields():
+    with pytest.raises(TunerError):
+        ParamSpace((Axis("not_a_field", (1,), default=1),))
+
+
+def test_default_candidate_is_table2():
+    space = ParamSpace.default()
+    overrides = space.default_candidate().overrides()
+    assert overrides["num_vcs"] == 10
+    assert overrides["vc_buffer_depth"] == 4
+    assert overrides["routing"] == "footprint"
+    assert overrides["congestion_threshold"] == 0.5
+    assert overrides["footprint_vc_limit"] is None
+
+
+def test_candidate_defaults_fill_and_membership_checked():
+    space = ParamSpace.default()
+    candidate = space.candidate(num_vcs=4)
+    assert candidate["num_vcs"] == 4
+    assert candidate["routing"] == "footprint"
+    with pytest.raises(TunerError):
+        space.candidate(num_vcs=3)  # not on the axis
+    with pytest.raises(TunerError):
+        space.candidate(nope=1)
+
+
+def test_apply_produces_overridden_config():
+    space = ParamSpace.default()
+    candidate = space.candidate(num_vcs=4, routing="dor")
+    config = space.apply(BASE, candidate)
+    assert config.num_vcs == 4
+    assert config.routing == "dor"
+    assert config.width == BASE.width
+
+
+def test_roundtrip_dict():
+    space = ParamSpace.default()
+    again = ParamSpace.from_dict(space.to_dict())
+    assert [a.name for a in again.axes] == [a.name for a in space.axes]
+    assert again.default_candidate() == space.default_candidate()
+
+
+# ----------------------------------------------------------------------
+# Canonicalization
+# ----------------------------------------------------------------------
+def test_canonical_resets_unread_knobs():
+    space = ParamSpace.default()
+    raw = space.candidate(
+        routing="dor", congestion_threshold=0.75, footprint_vc_limit=2
+    )
+    canon = space.canonical(raw)
+    assert canon["congestion_threshold"] == 0.5
+    assert canon["footprint_vc_limit"] is None
+
+
+def test_canonical_keeps_read_knobs():
+    space = ParamSpace.default()
+    # dbar reads the threshold but not the footprint VC limit.
+    raw = space.candidate(
+        routing="dbar", congestion_threshold=0.75, footprint_vc_limit=2
+    )
+    canon = space.canonical(raw)
+    assert canon["congestion_threshold"] == 0.75
+    assert canon["footprint_vc_limit"] is None
+    # footprint reads both.
+    raw = space.candidate(
+        routing="footprint", congestion_threshold=0.75, footprint_vc_limit=2
+    )
+    assert space.canonical(raw) == raw
+
+
+def test_canonical_collapses_equivalent_candidates():
+    space = ParamSpace.default()
+    variants = {
+        space.canonical(
+            space.candidate(
+                routing="dor",
+                congestion_threshold=t,
+                footprint_vc_limit=limit,
+            )
+        )
+        for t in (0.25, 0.5, 0.75)
+        for limit in (None, 1, 2, 4)
+    }
+    assert len(variants) == 1
+
+
+# ----------------------------------------------------------------------
+# Sampling / neighbors
+# ----------------------------------------------------------------------
+def test_sample_deterministic_and_distinct():
+    space = ParamSpace.default()
+    a = space.sample(10, seed=7, base=BASE)
+    b = space.sample(10, seed=7, base=BASE)
+    assert a == b
+    assert len(set(a)) == len(a)
+    assert space.sample(10, seed=8, base=BASE) != a
+
+
+def test_sample_returns_canonical_valid_candidates():
+    space = ParamSpace.default()
+    for candidate in space.sample(20, seed=3, base=BASE):
+        assert space.canonical(candidate) == candidate
+        assert space.is_valid(BASE, candidate)
+
+
+def test_neighbors_one_step_no_origin():
+    space = ParamSpace.default()
+    origin = space.canonical(space.default_candidate())
+    moves = space.neighbors(origin, BASE)
+    assert origin not in moves
+    assert len(set(moves)) == len(moves)
+    for moved in moves:
+        diffs = [
+            name
+            for name, value in moved.items
+            if origin[name] != value
+        ]
+        # One visible axis changed; canonicalization may reset the
+        # footprint-only knobs alongside a routing change.
+        assert 1 <= len(diffs) <= 3
+        assert space.is_valid(BASE, moved)
+
+
+def test_iter_all_covers_canonical_space():
+    space = ParamSpace(
+        (
+            Axis("num_vcs", (2, 4), default=4),
+            Axis("routing", ("dor", "footprint"), default="footprint"),
+            Axis("congestion_threshold", (0.25, 0.5), default=0.5),
+        )
+    )
+    everything = list(space.iter_all(BASE))
+    assert len(everything) == len(set(everything))
+    # dor collapses the threshold axis: 2 VC x (1 dor + 2 footprint).
+    assert len(everything) == 6
+
+
+def test_candidate_key_stable():
+    space = ParamSpace.default()
+    candidate = space.candidate(num_vcs=4)
+    assert Candidate(candidate.items).key() == candidate.key()
+    assert "num_vcs=4" in candidate.key()
