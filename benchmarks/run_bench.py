@@ -137,6 +137,19 @@ ZERO_LOAD_RATE = 0.0002
 #: section and the CI perf-regression smoke key on.
 SATURATION_POINT = (8, "footprint", 0.3)
 
+#: Torus configs for the cross-engine identity section.  Loaded points
+#: (but not the mesh saturation anchor's triple — the perf-regression
+#: guard first-matches entries by (width, routing, rate) and must keep
+#: keying on the mesh entry): wrap links and dateline escape VCs are
+#: exercised hardest when the network is busy.
+TORUS_MATRIX = (
+    (8, "dor", 0.2),
+    (8, "footprint", 0.2),
+)
+QUICK_TORUS_MATRIX = (
+    (8, "footprint", 0.2),
+)
+
 PARALLEL_RATES = (0.05, 0.1, 0.15, 0.2)
 QUICK_PARALLEL_RATES = (0.05, 0.15)
 
@@ -185,10 +198,17 @@ QUICK_VALIDATE_MATRIX = (
 VALIDATE_OVERHEAD_BUDGET = 0.02
 
 
-def _bench_config(width: int, routing: str, rate: float, quick: bool):
+def _bench_config(
+    width: int,
+    routing: str,
+    rate: float,
+    quick: bool,
+    topology: str = "mesh",
+):
     cycles = (100, 200, 500) if quick else (200, 400, 1000)
     return SimulationConfig(
         width=width,
+        topology=topology,
         routing=routing,
         injection_rate=rate,
         warmup_cycles=cycles[0],
@@ -390,6 +410,79 @@ def bench_auto(quick: bool, reps: int) -> dict:
         "summary": {
             e["anchor"] + "_auto_speedup": e["auto_speedup"]
             for e in entries
+        },
+    }
+
+
+def bench_torus(quick: bool, reps: int) -> dict:
+    """Cross-engine identity and drain on the 2D torus.
+
+    The scalar engines (skip/fast/legacy) must stay bit-identical on
+    wrap links and dateline escape VCs exactly as they do on the mesh,
+    every run must drain (the dateline argument is the deadlock-freedom
+    story — a hung drain here is a routing bug, not noise), and the
+    vector core must refuse the topology loudly with a field-named
+    fallback reason rather than silently computing mesh routes.
+    """
+    from repro.sim.vector import vector_unsupported_reason
+
+    matrix = QUICK_TORUS_MATRIX if quick else TORUS_MATRIX
+    entries = []
+    for width, routing, rate in matrix:
+        config = _bench_config(width, routing, rate, quick, topology="torus")
+        reason = vector_unsupported_reason(config)
+        if reason is None or "config.topology" not in reason:
+            raise AssertionError(
+                f"vector core accepted a torus config (fallback reason: "
+                f"{reason!r}); it must name config.topology"
+            )
+        skip_cps, skip_sig = _time_mode(config, "skip", reps)
+        fast_cps, fast_sig = _time_mode(config, "fast", reps)
+        legacy_cps, legacy_sig = _time_mode(config, "legacy", reps)
+        if not (skip_sig == fast_sig == legacy_sig):
+            raise AssertionError(
+                f"skip/fast/legacy results diverge on torus for "
+                f"{width}x{width} {routing} @ {rate}"
+            )
+        result = Simulator(config, engine_mode="skip").run()
+        if not result.drained:
+            raise AssertionError(
+                f"torus run failed to drain for {width}x{width} "
+                f"{routing} @ {rate} — dateline escape VCs are not "
+                f"breaking the wrap-link cycle"
+            )
+        entries.append(
+            {
+                "width": width,
+                "routing": routing,
+                "injection_rate": rate,
+                "topology": "torus",
+                "skip_cycles_per_sec": round(skip_cps, 1),
+                "fast_cycles_per_sec": round(fast_cps, 1),
+                "legacy_cycles_per_sec": round(legacy_cps, 1),
+                "speedup": round(skip_cps / legacy_cps, 3),
+                "vector_fallback": reason,
+                "drained": True,
+                "results_identical": True,
+                "cycles_run": skip_sig[0],
+                "accepted_flits": skip_sig[1],
+            }
+        )
+        print(
+            f"  {width}x{width} torus {routing:10s} rate={rate:<7} "
+            f"skip={skip_cps:8.0f} fast={fast_cps:8.0f} "
+            f"legacy={legacy_cps:8.0f} c/s  skip/legacy "
+            f"{skip_cps / legacy_cps:.2f}x  drained=True"
+        )
+    return {
+        "reps": reps,
+        "matrix": entries,
+        "summary": {
+            "geomean_speedup": round(
+                _geomean([e["speedup"] for e in entries]), 3
+            ),
+            "all_drained": True,
+            "results_identical": True,
         },
     }
 
@@ -1138,6 +1231,8 @@ def main(argv: list[str] | None = None) -> int:
     engine = bench_engine(args.quick, reps, stage_times=args.stage_times)
     print("auto: per-config engine arbitration at the two anchors")
     auto = bench_auto(args.quick, reps)
+    print("torus: cross-engine identity + drain on wrap links")
+    torus = bench_torus(args.quick, reps)
     if args.no_baseline:
         baseline = {"skipped": "--no-baseline"}
     else:
@@ -1159,13 +1254,14 @@ def main(argv: list[str] | None = None) -> int:
     tuner = bench_tuner(args.quick)
 
     payload = {
-        "schema": "footprint-noc-bench/8",
+        "schema": "footprint-noc-bench/9",
         "timestamp": time.strftime("%Y%m%dT%H%M%S"),
         "quick": args.quick,
         "python": sys.version.split()[0],
         "cpu_count": os.cpu_count(),
         "engine": engine,
         "auto": auto,
+        "torus": torus,
         "baseline": baseline,
         "cache": cache,
         "parallel": parallel,
@@ -1196,6 +1292,11 @@ def main(argv: list[str] | None = None) -> int:
         f"auto vs skip: zero-load "
         f"{asum['zero_load_auto_speedup']}x, saturation "
         f"{asum['saturation_auto_speedup']}x"
+    )
+    print(
+        f"torus skip vs legacy: geomean "
+        f"{torus['summary']['geomean_speedup']}x, all drained, "
+        f"engines identical"
     )
     if "summary" in baseline:
         bsum = baseline["summary"]

@@ -1,8 +1,9 @@
 """Reproduction of *Footprint: Regulating Routing Adaptiveness in
 Networks-on-Chip* (Fu & Kim, ISCA 2017).
 
-The package provides a cycle-level network-on-chip simulator (2D mesh,
-input-queued virtual-channel routers, credit-based wormhole flow control)
+The package provides a cycle-level network-on-chip simulator (2D mesh or
+torus, input-queued virtual-channel routers, credit-based wormhole flow
+control)
 together with the paper's Footprint routing algorithm and its baselines
 (DOR, Odd-Even, DBAR, and the XORDET static VC mapping overlay), the
 paper's traffic workloads, and the analyses behind its figures:
@@ -23,8 +24,10 @@ from repro.sim.config import SimulationConfig
 from repro.sim.engine import Simulator
 from repro.sim.results import SimulationResult
 from repro.routing.registry import available_algorithms, create_routing
+from repro.topology.base import TOPOLOGIES, Topology, create_topology
 from repro.topology.mesh import Mesh2D
 from repro.topology.ports import Direction
+from repro.topology.torus import Torus2D
 from repro.metrics.sweep import injection_sweep, saturation_throughput
 from repro.core.cost import CostModel
 
@@ -37,6 +40,10 @@ __all__ = [
     "available_algorithms",
     "create_routing",
     "Mesh2D",
+    "Torus2D",
+    "Topology",
+    "TOPOLOGIES",
+    "create_topology",
     "Direction",
     "injection_sweep",
     "saturation_throughput",

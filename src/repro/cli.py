@@ -83,6 +83,16 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--injection-rate", type=float, default=0.1)
     run.add_argument("--width", type=int, default=8)
     run.add_argument("--height", type=int, default=None)
+    run.add_argument(
+        "--topology",
+        choices=["mesh", "torus"],
+        default="mesh",
+        help=(
+            "network topology: 'mesh' (the paper's) or 'torus' (wrap "
+            "links, dateline VC classes; needs >= 2 VCs, >= 3 for "
+            "Duato-based routing)"
+        ),
+    )
     run.add_argument("--vcs", type=int, default=10)
     run.add_argument("--buffer-depth", type=int, default=4)
     run.add_argument("--packet-size", type=int, default=1)
@@ -418,6 +428,9 @@ def _build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--traffic", default="uniform")
     submit.add_argument("--width", type=int, default=8)
     submit.add_argument("--height", type=int, default=None)
+    submit.add_argument(
+        "--topology", choices=["mesh", "torus"], default="mesh"
+    )
     submit.add_argument("--vcs", type=int, default=10)
     submit.add_argument("--packet-size", type=int, default=1)
     submit.add_argument("--warmup", type=int, default=1000)
@@ -513,6 +526,9 @@ def _build_parser() -> argparse.ArgumentParser:
         help="traffic pattern of the tuning scenario (default hotspot)",
     )
     tune.add_argument("--width", type=int, default=8)
+    tune.add_argument(
+        "--topology", choices=["mesh", "torus"], default="mesh"
+    )
     tune.add_argument("--seed", type=int, default=1)
     tune.add_argument(
         "--scale",
@@ -696,11 +712,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
             args.width,
             args.height if args.height is not None else args.width,
             default_seed=args.seed,
+            topology=args.topology,
         )
     telemetry = _telemetry_from_args(args)
     config = SimulationConfig(
         width=args.width,
         height=args.height,
+        topology=args.topology,
         num_vcs=args.vcs,
         vc_buffer_depth=args.buffer_depth,
         routing=args.routing,
@@ -1034,6 +1052,7 @@ def _submit_grid(args: argparse.Namespace):
         config = SimulationConfig(
             width=args.width,
             height=args.height,
+            topology=args.topology,
             num_vcs=args.vcs,
             routing=routing,
             traffic=args.traffic,
@@ -1198,6 +1217,7 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     scenario = make_scenario(
         args.traffic,
         width=args.width,
+        topology=args.topology,
         warmup=scale.warmup,
         measure=scale.measure,
         drain=scale.drain,
@@ -1232,6 +1252,11 @@ def _cmd_tune(args: argparse.Namespace) -> int:
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
+    from repro.topology.base import TOPOLOGIES
+
+    print("topologies:")
+    for name in TOPOLOGIES:
+        print(f"  {name}")
     print("routing algorithms:")
     for name in available_algorithms():
         print(f"  {name}")

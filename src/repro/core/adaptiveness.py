@@ -23,13 +23,13 @@ from fractions import Fraction
 from repro.routing.base import RoutingAlgorithm
 from repro.routing.duato import DuatoAdaptiveRouting
 from repro.routing.xordet import XordetOverlay
-from repro.topology.mesh import Mesh2D
+from repro.topology.base import Topology
 from repro.topology.ports import Direction
 
 
 def port_adaptiveness(
     algorithm: RoutingAlgorithm,
-    mesh: Mesh2D,
+    mesh: Topology,
     current: int,
     destination: int,
     source: int | None = None,
@@ -48,7 +48,7 @@ def port_adaptiveness(
     return Fraction(len(allowed), len(minimal))
 
 
-def _minimal_dag_nodes(mesh: Mesh2D, src: int, dst: int) -> list[int]:
+def _minimal_dag_nodes(mesh: Topology, src: int, dst: int) -> list[int]:
     """All routers on at least one minimal path from ``src`` to ``dst``
     (excluding the destination, where no routing decision remains)."""
     sx, sy = mesh.coords(src)
@@ -61,7 +61,7 @@ def _minimal_dag_nodes(mesh: Mesh2D, src: int, dst: int) -> list[int]:
 
 
 def mean_port_adaptiveness(
-    algorithm: RoutingAlgorithm, mesh: Mesh2D, src: int, dst: int
+    algorithm: RoutingAlgorithm, mesh: Topology, src: int, dst: int
 ) -> float:
     """Mean of Eq. 1 over every router on the minimal-path DAG."""
     nodes = _minimal_dag_nodes(mesh, src, dst)
@@ -91,7 +91,7 @@ def vc_adaptiveness(
 
 def qualitative_comparison(
     algorithms: dict[str, RoutingAlgorithm],
-    mesh: Mesh2D,
+    mesh: Topology,
     num_vcs: int,
 ) -> dict[str, dict[str, float]]:
     """Quantitative backing for Table 1.

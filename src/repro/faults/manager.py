@@ -24,7 +24,7 @@ jump target so no transition cycle is skipped over.
 from __future__ import annotations
 
 from repro.faults.schedule import KIND_LINK, FaultEvent, FaultSchedule
-from repro.topology.mesh import Mesh2D
+from repro.topology.base import Topology
 from repro.topology.ports import Direction
 
 _DEACTIVATE = 0
@@ -40,7 +40,7 @@ class FaultManager:
     is active.
     """
 
-    def __init__(self, schedule: FaultSchedule, mesh: Mesh2D) -> None:
+    def __init__(self, schedule: FaultSchedule, mesh: Topology) -> None:
         schedule.validate_for(mesh.width, mesh.height)
         self.mesh = mesh
         self.schedule = schedule

@@ -31,7 +31,7 @@ from dataclasses import dataclass
 from typing import Any, Iterable
 
 from repro.exceptions import FaultError
-from repro.topology.mesh import Mesh2D
+from repro.topology.base import create_topology
 from repro.topology.ports import Direction
 
 #: Recognized fault kinds.
@@ -187,21 +187,31 @@ class FaultSchedule:
         return len(self.events)
 
     # ------------------------------------------------------------------
-    def validate_for(self, width: int, height: int | None = None) -> None:
-        """Raise :class:`FaultError` if any event is outside the mesh."""
-        mesh = Mesh2D(width, height)
+    def validate_for(
+        self,
+        width: int,
+        height: int | None = None,
+        topology: str = "mesh",
+    ) -> None:
+        """Raise :class:`FaultError` if any event is outside the topology.
+
+        A link fault must name a channel the topology actually has: on a
+        mesh, edge nodes lack outward links; on a torus every compass
+        link exists (it wraps), so only the node bound can fail.
+        """
+        topo = create_topology(topology, width, height)
         for event in self.events:
-            if not (0 <= event.node < mesh.num_nodes):
+            if not (0 <= event.node < topo.num_nodes):
                 raise FaultError(
-                    f"fault node {event.node} outside {mesh!r} "
+                    f"fault node {event.node} outside {topo!r} "
                     f"({event.describe()})"
                 )
             if event.kind == KIND_LINK:
                 assert event.direction is not None
-                if mesh.neighbor(event.node, event.direction) is None:
+                if topo.neighbor(event.node, event.direction) is None:
                     raise FaultError(
                         f"no {event.direction.name} link at node "
-                        f"{event.node} in {mesh!r} ({event.describe()})"
+                        f"{event.node} in {topo!r} ({event.describe()})"
                     )
 
     def to_dict(self) -> dict[str, Any]:
@@ -233,17 +243,19 @@ def random_link_faults(
     cycle: int = 0,
     duration: int | None = None,
     seed: int = 0,
+    topology: str = "mesh",
 ) -> FaultSchedule:
     """``k`` distinct random link faults, deterministic in ``seed``.
 
-    Channels are unidirectional (a mesh link contributes two), matching
-    :meth:`~repro.topology.mesh.Mesh2D.channels`.
+    Channels are unidirectional (a mesh link contributes two, a torus
+    wrap link likewise), matching :meth:`Topology.channels` — so the
+    same seed faults different physical links on different topologies.
     """
-    mesh = Mesh2D(width, height)
-    channels = mesh.channels()
+    topo = create_topology(topology, width, height)
+    channels = topo.channels()
     if not (0 <= k <= len(channels)):
         raise FaultError(
-            f"cannot fault {k} links; {mesh!r} has {len(channels)} channels"
+            f"cannot fault {k} links; {topo!r} has {len(channels)} channels"
         )
     rng = random.Random(seed)
     picks = sorted(rng.sample(range(len(channels)), k))
@@ -263,15 +275,16 @@ def random_router_faults(
     cycle: int = 0,
     duration: int | None = None,
     seed: int = 0,
+    topology: str = "mesh",
 ) -> FaultSchedule:
     """``k`` distinct random router faults, deterministic in ``seed``."""
-    mesh = Mesh2D(width, height)
-    if not (0 <= k <= mesh.num_nodes):
+    topo = create_topology(topology, width, height)
+    if not (0 <= k <= topo.num_nodes):
         raise FaultError(
-            f"cannot fault {k} routers; {mesh!r} has {mesh.num_nodes} nodes"
+            f"cannot fault {k} routers; {topo!r} has {topo.num_nodes} nodes"
         )
     rng = random.Random(seed)
-    picks = sorted(rng.sample(range(mesh.num_nodes), k))
+    picks = sorted(rng.sample(range(topo.num_nodes), k))
     return FaultSchedule(
         tuple(
             FaultEvent(cycle, KIND_ROUTER, node, None, duration)
@@ -305,6 +318,7 @@ def parse_fault_spec(
     width: int,
     height: int | None = None,
     default_seed: int = 0,
+    topology: str = "mesh",
 ) -> FaultSchedule:
     """Parse a ``--faults`` command-line spec into a validated schedule.
 
@@ -373,7 +387,13 @@ def parse_fault_spec(
                 random_link_faults if kind == "links" else random_router_faults
             )
             generated = generator(
-                width, height, k=k, cycle=cycle, duration=duration, seed=item_seed
+                width,
+                height,
+                k=k,
+                cycle=cycle,
+                duration=duration,
+                seed=item_seed,
+                topology=topology,
             )
             events.extend(generated.events)
         else:
@@ -381,7 +401,7 @@ def parse_fault_spec(
                 f"unknown fault kind {kind!r} in {item!r}; {_SPEC_HELP}"
             )
     schedule = FaultSchedule(tuple(events))
-    schedule.validate_for(width, height)
+    schedule.validate_for(width, height, topology=topology)
     return schedule
 
 

@@ -46,6 +46,7 @@ from repro.sim.config import SimulationConfig
 from repro.sim.engine import Simulator
 from repro.sim.results import SimulationResult
 from repro.telemetry import TelemetryConfig, TelemetryResult
+from repro.topology.base import create_topology
 from repro.topology.mesh import Mesh2D
 from repro.traffic.parsecgen import generate_parsec_trace, merge_traces
 
@@ -56,6 +57,8 @@ class Scale:
 
     name: str
     width: int = 8
+    height: int | None = None
+    topology: str = "mesh"
     num_vcs: int = 10
     warmup: int = 100
     measure: int = 200
@@ -69,6 +72,8 @@ class Scale:
     def config(self, **overrides) -> SimulationConfig:
         base = dict(
             width=self.width,
+            height=self.height,
+            topology=self.topology,
             num_vcs=self.num_vcs,
             warmup_cycles=self.warmup,
             measure_cycles=self.measure,
@@ -76,6 +81,14 @@ class Scale:
         )
         base.update(overrides)
         return SimulationConfig(**base)
+
+    def make_topology(self):
+        """The scale's network geometry — the same
+        :class:`~repro.topology.base.Topology` every task config builds,
+        so drivers that pre-generate traces or adaptiveness tables
+        cannot diverge from the simulated network (a square ``Mesh2D``
+        hardcoded here once broke rectangular sweeps)."""
+        return create_topology(self.topology, self.width, self.height)
 
 
 SMOKE = Scale(
@@ -529,7 +542,7 @@ def fig10_parsec(
     cache: "ResultCache | None" = None,
 ) -> list[Fig10Entry]:
     """Fig. 10: DBAR vs Footprint on pairs of PARSEC-like traces."""
-    mesh = Mesh2D(scale.width)
+    mesh = scale.make_topology()
     algorithms = ("dbar", "footprint")
     configs = []
     for pair in pairs:
@@ -577,10 +590,10 @@ def fig10_parsec(
 # Table 1 — qualitative comparison backed by metrics
 # ----------------------------------------------------------------------
 def table1_adaptiveness(
-    width: int = 4, num_vcs: int = 4
+    width: int = 4, num_vcs: int = 4, height: int | None = None
 ) -> dict[str, dict[str, float]]:
     """Quantitative adaptiveness behind Table 1's +/o/- entries."""
-    mesh = Mesh2D(width)
+    mesh = Mesh2D(width, height)
     algorithms = {
         name: create_routing(name)
         for name in ("dor", "oddeven", "dbar", "footprint", "dbar+xordet")
@@ -659,9 +672,11 @@ def fault_sweep(
         k: (
             generate(
                 scale.width,
+                scale.height,
                 k=k,
                 cycle=fault_cycle,
                 seed=derive_task_seed(seed, f"faults/{fault_kind}/{k}"),
+                topology=scale.topology,
             )
             if k
             else None

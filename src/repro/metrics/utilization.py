@@ -16,7 +16,7 @@ the :attr:`counts` property, a thin adapter over the array.
 
 from __future__ import annotations
 
-from repro.topology.mesh import Mesh2D
+from repro.topology.base import Topology
 from repro.topology.ports import NUM_PORTS, Direction
 
 
@@ -27,7 +27,7 @@ class ChannelUtilization:
 
     def __init__(
         self,
-        mesh: Mesh2D,
+        mesh: Topology,
         cycles: int = 0,
         counts: dict[tuple[int, Direction], int] | None = None,
     ) -> None:

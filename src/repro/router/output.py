@@ -50,6 +50,7 @@ class OutputPort:
         speedup: int,
         escape_vc: int | None,
         atomic_realloc: bool,
+        escape_vc2: int | None = None,
     ) -> None:
         self.direction = direction
         self.num_vcs = num_vcs
@@ -57,6 +58,9 @@ class OutputPort:
         self.fifo_depth = fifo_depth
         self.speedup = speedup
         self.escape_vc = escape_vc
+        #: Second escape VC (dateline class 1) on multi-class topologies;
+        #: ``None`` on a mesh, where one escape VC suffices.
+        self.escape_vc2 = escape_vc2
         self.atomic_realloc = atomic_realloc
 
         self.credits = [downstream_depth] * num_vcs
@@ -67,7 +71,9 @@ class OutputPort:
         self.fifo: deque[tuple[Flit, int]] = deque()
         self._accepted_this_cycle = 0
 
-        self._adaptive = [v for v in range(num_vcs) if v != escape_vc]
+        self._adaptive = [
+            v for v in range(num_vcs) if v != escape_vc and v != escape_vc2
+        ]
         # Incrementally maintained views.
         self._idle_cache: list[int] | None = list(self._adaptive)
         self._busy_count = 0
@@ -88,6 +94,17 @@ class OutputPort:
     # ------------------------------------------------------------------
     # Routing-algorithm view (OutputPortView protocol)
     # ------------------------------------------------------------------
+    @property
+    def escape_vcs(self) -> tuple[int, ...]:
+        """Escape VCs in dateline-class order: ``(vc_class0, vc_class1)``
+        on a multi-class topology, ``(vc,)`` on a mesh, ``()`` on ports
+        that reserve none (ejection, non-Duato algorithms)."""
+        if self.escape_vc is None:
+            return ()
+        if self.escape_vc2 is None:
+            return (self.escape_vc,)
+        return (self.escape_vc, self.escape_vc2)
+
     def adaptive_vcs(self) -> list[int]:
         """VCs a non-escape request may target (do not mutate)."""
         return self._adaptive
@@ -191,7 +208,7 @@ class OutputPort:
         self.owner_dst[vc] = dst
         self.version += 1
         self.fresh_released.discard(vc)
-        if vc != self.escape_vc:
+        if vc != self.escape_vc and vc != self.escape_vc2:
             self._idle_cache = None
             self._busy_count += 1
             self._fp_index.setdefault(dst, []).append(vc)
@@ -204,7 +221,7 @@ class OutputPort:
         # The owner is deliberately left stale until the next allocation
         # and the VC is marked freshly released; see fresh_footprint_vcs().
         self.fresh_released.add(vc)
-        if vc != self.escape_vc:
+        if vc != self.escape_vc and vc != self.escape_vc2:
             self._idle_cache = None
             self._busy_count -= 1
             owners = self._fp_index.get(dst)
@@ -237,7 +254,7 @@ class OutputPort:
                 f"output FIFO overflow on {self.direction.name}"
             )
         self.credits[vc] -= 1
-        if vc != self.escape_vc:
+        if vc != self.escape_vc and vc != self.escape_vc2:
             self._adaptive_credits -= 1
         self.fifo.append((flit, vc))
         self._accepted_this_cycle += 1
@@ -270,7 +287,7 @@ class OutputPort:
             raise FlowControlError(
                 f"credit overflow on {self.direction.name} VC {vc}"
             )
-        if vc != self.escape_vc:
+        if vc != self.escape_vc and vc != self.escape_vc2:
             self._adaptive_credits += 1
         if self._draining[vc]:
             return self._check_drained(vc)
@@ -337,7 +354,7 @@ class OutputPort:
             if not vcs:
                 return f"empty footprint-index entry for destination {dst}"
             for v in vcs:
-                if v == self.escape_vc:
+                if v == self.escape_vc or v == self.escape_vc2:
                     return f"escape VC {v} in the footprint index"
                 if self.owner_dst[v] != dst:
                     return (

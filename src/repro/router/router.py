@@ -37,7 +37,7 @@ from repro.router.vcstate import InputVc, VcState
 from repro.routing.base import RouteContext, RoutingAlgorithm
 from repro.routing.requests import VcRequest
 from repro.sim.config import SimulationConfig
-from repro.topology.mesh import Mesh2D
+from repro.topology.base import Topology
 from repro.topology.ports import Direction
 
 
@@ -75,7 +75,7 @@ class Router:
     def __init__(
         self,
         node: int,
-        mesh: Mesh2D,
+        mesh: Topology,
         config: SimulationConfig,
         routing: RoutingAlgorithm,
         rng: random.Random,
@@ -87,6 +87,11 @@ class Router:
         self.rng = rng
 
         escape_vc = 0 if routing.uses_escape else None
+        # Multi-class topologies (torus) reserve one escape VC per
+        # dateline class: VC 0 carries class 0, VC 1 carries class 1.
+        escape_vc2 = (
+            1 if routing.uses_escape and mesh.num_vc_classes > 1 else None
+        )
         ports = mesh.router_ports(node)
         self.input_vcs: dict[Direction, list[InputVc]] = {
             d: [
@@ -107,6 +112,9 @@ class Router:
                 # bandwidth.
                 escape_vc=escape_vc if d is not Direction.LOCAL else None,
                 atomic_realloc=routing.atomic_vc_reallocation,
+                escape_vc2=(
+                    escape_vc2 if d is not Direction.LOCAL else None
+                ),
             )
             for d in ports
         }

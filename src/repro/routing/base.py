@@ -31,7 +31,7 @@ from dataclasses import dataclass
 from typing import Mapping, Protocol, Sequence
 
 from repro.routing.requests import Priority, VcRequest
-from repro.topology.mesh import Mesh2D
+from repro.topology.base import Topology
 from repro.topology.ports import Direction
 
 
@@ -44,6 +44,17 @@ class OutputPortView(Protocol):
 
     num_vcs: int
     escape_vc: int | None
+
+    @property
+    def escape_vcs(self) -> tuple[int, ...]:
+        """Reserved escape VCs in dateline-class order (empty when none).
+
+        One entry per :attr:`Topology.num_vc_classes` on ports that
+        carry an escape subnetwork: ``(0,)`` on a mesh, ``(0, 1)`` on a
+        torus.  Only consulted on multi-class topologies, so mesh-only
+        test fakes may omit it.
+        """
+        ...
 
     def idle_vcs(self) -> Sequence[int]:
         """Downstream VCs currently free for allocation (adaptive VCs only
@@ -83,7 +94,8 @@ class RouteContext:
     Attributes
     ----------
     mesh:
-        Network geometry.
+        Network geometry (any :class:`~repro.topology.base.Topology`;
+        the attribute keeps its historical name).
     current, destination, source:
         Current router, packet destination, packet source node ids.
     input_direction:
@@ -109,7 +121,7 @@ class RouteContext:
         via :meth:`RoutingAlgorithm.live_candidates`.
     """
 
-    mesh: Mesh2D
+    mesh: Topology
     current: int
     destination: int
     source: int
@@ -135,12 +147,20 @@ class RoutingAlgorithm(abc.ABC):
 
     #: Registry name, set by subclasses.
     name: str = "base"
-    #: Whether VC0 is reserved as a Duato escape channel.
+    #: Whether the lowest VCs are reserved as Duato escape channels (one
+    #: per dateline class of the topology: VC0 on a mesh, VC0+VC1 on a
+    #: torus).
     uses_escape: bool = False
     #: Whether downstream VCs are reallocated atomically (only after the
     #: tail flit's credit returns) — required by Duato-based algorithms,
     #: see §4.2.1 of the paper.
     atomic_vc_reallocation: bool = False
+    #: Topologies the algorithm's turn model is sound on.  Algorithms
+    #: whose deadlock-freedom argument is mesh-structural (Odd-Even's
+    #: column-parity turn rules, XORDET's precomputed mesh table)
+    #: restrict this; config validation rejects unsupported combinations
+    #: with a loud :class:`~repro.exceptions.ConfigurationError`.
+    topologies: tuple[str, ...] = ("mesh", "torus")
 
     @abc.abstractmethod
     def select_output(self, ctx: RouteContext) -> Direction:
@@ -157,7 +177,7 @@ class RoutingAlgorithm(abc.ABC):
 
     @abc.abstractmethod
     def allowed_directions(
-        self, mesh: Mesh2D, current: int, destination: int, source: int
+        self, mesh: Topology, current: int, destination: int, source: int
     ) -> list[Direction]:
         """Productive directions this algorithm may ever take at ``current``.
 
@@ -320,12 +340,39 @@ class RoutingAlgorithm(abc.ABC):
         Emitted only when the escape VC is currently grantable — a busy
         escape VC cannot be granted this cycle, and the request reappears
         on the cycle it frees.
+
+        On single-class topologies (mesh) the escape subnetwork is
+        dimension-order routing on VC0.  On a torus there is one escape
+        VC per dateline class and the request targets the class of this
+        hop (:meth:`~repro.topology.base.Topology.wrap_vc_class`), which
+        keeps the escape network's channel dependency graph acyclic
+        across the wrap links.
         """
         escape_dir = ctx.mesh.dor_direction(ctx.current, ctx.destination)
         view = ctx.outputs[escape_dir]
-        if view.escape_vc is None or not view.grantable(view.escape_vc):
+        if ctx.mesh.num_vc_classes > 1:
+            evcs = view.escape_vcs
+            if len(evcs) < ctx.mesh.num_vc_classes:
+                return []
+            vc = evcs[
+                ctx.mesh.wrap_vc_class(ctx.current, ctx.destination, escape_dir)
+            ]
+        else:
+            vc = view.escape_vc
+        if vc is None or not view.grantable(vc):
             return []
-        return [VcRequest(escape_dir, view.escape_vc, Priority.LOWEST)]
+        return [VcRequest(escape_dir, vc, Priority.LOWEST)]
+
+    def vc_class(self, num_vcs: int, vc: int) -> int | None:
+        """Dateline class ``vc`` belongs to on a multi-class topology.
+
+        ``None`` means the algorithm does not partition its adaptive VCs
+        by class (Duato-based algorithms constrain only their escape
+        VCs, which the router tracks separately).  DOR overrides this
+        with its half-split, and the invariant checker uses it to verify
+        dateline legality per hop.
+        """
+        return None
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"

@@ -42,6 +42,7 @@ from repro.topology.ports import NUM_PORTS, Direction
 
 if TYPE_CHECKING:
     from repro.router.output import OutputPort
+    from repro.topology.base import Topology
     from repro.topology.mesh import Mesh2D
 
 
@@ -61,12 +62,24 @@ class VcStateArrays:
     fresh: np.ndarray
     owner: np.ndarray
     adaptive: np.ndarray
+    #: The engine's shared topology instance, when the builder has one
+    #: (the vector engine is mesh-only, so this is always a mesh there).
+    #: :meth:`mesh` lazily builds one otherwise.
+    topology: "Topology | None" = None
     #: Lazily built ``[src * num_nodes + dst]`` DOR-direction table.
     _dor_table: "np.ndarray | None" = None
 
     @property
     def num_nodes(self) -> int:
         return self.width * self.height
+
+    def mesh(self) -> "Topology":
+        """The shared topology instance (built once if not injected)."""
+        if self.topology is None:
+            from repro.topology.mesh import Mesh2D
+
+            self.topology = Mesh2D(self.width, self.height)
+        return self.topology
 
     # ------------------------------------------------------------------
     @classmethod
@@ -119,6 +132,7 @@ class VcStateArrays:
             footprint_vc_limit=footprint_vc_limit,
             escape_vc=escape_vc,
         )
+        state.topology = mesh
         for node, ports in enumerate(ports_by_node):
             for direction, port in ports.items():
                 g = node * NUM_PORTS + int(direction)

@@ -23,7 +23,7 @@ import abc
 
 from repro.routing.base import RouteContext, RoutingAlgorithm
 from repro.routing.requests import VcRequest
-from repro.topology.mesh import Mesh2D
+from repro.topology.base import Topology
 from repro.topology.ports import Direction
 
 
@@ -67,7 +67,7 @@ class DuatoAdaptiveRouting(RoutingAlgorithm):
         """Adaptive-VC requests at the selected port."""
 
     def allowed_directions(
-        self, mesh: Mesh2D, current: int, destination: int, source: int
+        self, mesh: Topology, current: int, destination: int, source: int
     ) -> list[Direction]:
         if current == destination:
             return [Direction.LOCAL]

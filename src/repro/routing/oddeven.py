@@ -15,13 +15,20 @@ Duato-based algorithms.
 
 Output-port selection among the permitted directions follows the paper's
 configuration: "the number of idle VCs is used to select output ports".
+
+The turn rules are *mesh-structural*: Chiu's deadlock-freedom proof keys
+the forbidden turns off absolute column parity and relies on the absence
+of wrap-around channels, neither of which survives on a torus (a wrap
+link connects columns ``k-1`` and ``0`` — adjacent columns of equal
+parity when ``k`` is even).  The algorithm therefore declares
+``topologies = ("mesh",)`` and config validation rejects it elsewhere.
 """
 
 from __future__ import annotations
 
 from repro.routing.base import RouteContext, RoutingAlgorithm
 from repro.routing.requests import Priority, VcRequest
-from repro.topology.mesh import Mesh2D
+from repro.topology.base import Topology
 from repro.topology.ports import Direction
 
 
@@ -31,6 +38,7 @@ class OddEvenRouting(RoutingAlgorithm):
     name = "oddeven"
     uses_escape = False
     atomic_vc_reallocation = False
+    topologies = ("mesh",)
 
     def select_output(self, ctx: RouteContext) -> Direction:
         if ctx.current == ctx.destination:
@@ -66,7 +74,7 @@ class OddEvenRouting(RoutingAlgorithm):
         return tied[ctx.rng.randrange(len(tied))]
 
     def allowed_directions(
-        self, mesh: Mesh2D, current: int, destination: int, source: int
+        self, mesh: Topology, current: int, destination: int, source: int
     ) -> list[Direction]:
         """Chiu's minimal ROUTE function for the Odd-Even turn model."""
         if current == destination:

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Callable
 
-from repro.exceptions import RoutingError
+from repro.exceptions import ConfigurationError, RoutingError
 from repro.routing.base import RoutingAlgorithm
 from repro.routing.dbar import DbarFineRouting, DbarRouting
 from repro.routing.dor import DorRouting
@@ -25,6 +25,11 @@ _BASE_FACTORIES: dict[str, Callable[[], RoutingAlgorithm]] = {
     "dbar": DbarRouting,
     "dbar-fine": DbarFineRouting,
     "footprint": FootprintRouting,
+    # Hidden alias: "duato" names plain Duato minimal fully-adaptive
+    # routing, which DBAR realizes with its congestion-aware port pick.
+    # Deliberately absent from available_algorithms() so experiment
+    # rosters ("all nine algorithms") are unchanged.
+    "duato": DbarRouting,
 }
 
 
@@ -32,6 +37,28 @@ def available_algorithms() -> list[str]:
     """Names accepted by :func:`create_routing`, base and overlay forms."""
     bases = ["dor", "oddeven", "dbar", "footprint"]
     return bases + ["dbar-fine"] + [f"{b}+xordet" for b in bases]
+
+
+def check_topology_support(name: str, topology: str) -> None:
+    """Raise :class:`ConfigurationError` if ``name`` cannot run on
+    ``topology``.
+
+    Resolves ``name`` through :func:`create_routing` (so overlays combine
+    their restrictions with the base's) and checks the algorithm's
+    ``topologies`` declaration.  Unknown names fall through silently —
+    :func:`create_routing` reports those with its own error at
+    construction time.
+    """
+    try:
+        algorithm = create_routing(name)
+    except RoutingError:
+        return
+    if topology not in algorithm.topologies:
+        raise ConfigurationError(
+            f"routing '{name}' is {'/'.join(algorithm.topologies)}-only "
+            f"and cannot run on a {topology}: its deadlock-freedom "
+            f"argument does not survive wrap-around links"
+        )
 
 
 def create_routing(name: str) -> RoutingAlgorithm:

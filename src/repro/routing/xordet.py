@@ -18,6 +18,12 @@ This module provides:
 
 For Duato-based algorithms the mapping targets the adaptive VCs only and
 the escape request is preserved, keeping deadlock freedom intact.
+
+The overlay is mesh-only (``topologies = ("mesh",)``): its static map
+pins every destination to exactly one VC, which cannot coexist with the
+torus dateline scheme — a wrapping packet must be able to change VC
+class mid-route, and a single pinned VC would recreate the wrap cycle
+the dateline exists to break.
 """
 
 from __future__ import annotations
@@ -26,7 +32,7 @@ from repro.routing.base import RouteContext, RoutingAlgorithm
 from repro.routing.duato import DuatoAdaptiveRouting
 from repro.routing.oddeven import OddEvenRouting
 from repro.routing.requests import Priority, VcRequest
-from repro.topology.mesh import Mesh2D
+from repro.topology.base import Topology
 from repro.topology.ports import Direction
 
 
@@ -39,7 +45,7 @@ def _fold_xor(value: int) -> int:
     return digest
 
 
-def xordet_vc(mesh: Mesh2D, destination: int, num_usable_vcs: int) -> int:
+def xordet_vc(mesh: Topology, destination: int, num_usable_vcs: int) -> int:
     """The XORDET destination→VC mapping.
 
     The destination's X and Y coordinates are XOR-folded together and
@@ -55,6 +61,10 @@ def xordet_vc(mesh: Mesh2D, destination: int, num_usable_vcs: int) -> int:
 
 class XordetOverlay(RoutingAlgorithm):
     """Combine a base algorithm's port selection with XORDET VC selection."""
+
+    #: The static destination->VC pinning is incompatible with dateline
+    #: VC classes (see the module docstring), regardless of the base.
+    topologies = ("mesh",)
 
     def __init__(self, base: RoutingAlgorithm) -> None:
         self.base = base
@@ -124,7 +134,10 @@ class XordetOverlay(RoutingAlgorithm):
         cached = getattr(self, "_xordet_cache", None)
         if cached is not None and cached[0] == key:
             return cached[1]
-        mesh = Mesh2D(state.width, state.height)
+        # The state carries the engine's shared topology instance, so a
+        # cache miss reuses its coordinate caches instead of rebuilding
+        # a fresh Mesh2D.
+        mesh = state.mesh()
         usable = [
             v for v in range(state.num_vcs) if v != state.escape_vc
         ]
@@ -161,7 +174,7 @@ class XordetOverlay(RoutingAlgorithm):
         return ctx.mesh.dor_direction(ctx.current, ctx.destination)
 
     def allowed_directions(
-        self, mesh: Mesh2D, current: int, destination: int, source: int
+        self, mesh: Topology, current: int, destination: int, source: int
     ) -> list[Direction]:
         return self.base.allowed_directions(mesh, current, destination, source)
 

@@ -13,6 +13,7 @@ from dataclasses import asdict, dataclass, field, replace
 from typing import Any
 
 from repro.exceptions import ConfigurationError
+from repro.topology.base import TOPOLOGIES
 
 
 @dataclass(frozen=True)
@@ -24,7 +25,13 @@ class SimulationConfig:
     Attributes
     ----------
     width, height:
-        Mesh dimensions; ``height`` defaults to ``width``.
+        Network dimensions; ``height`` defaults to ``width``.
+    topology:
+        Network topology name (``"mesh"`` or ``"torus"``, see
+        :data:`repro.topology.base.TOPOLOGIES`).  The default mesh is
+        what the paper evaluates; serialization omits the field when it
+        holds the default, so mesh configs (and their result-cache keys)
+        are byte-identical to pre-topology versions.
     num_vcs:
         Virtual channels per physical channel (paper default 10).
     vc_buffer_depth:
@@ -116,6 +123,7 @@ class SimulationConfig:
     track_utilization: bool = False
     faults: Any = None
     telemetry: Any = None
+    topology: str = "mesh"
 
     def __post_init__(self) -> None:
         if self.height is None:
@@ -125,8 +133,13 @@ class SimulationConfig:
     # ------------------------------------------------------------------
     def validate(self) -> None:
         """Raise :class:`ConfigurationError` on any inconsistent setting."""
+        if self.topology not in TOPOLOGIES:
+            raise ConfigurationError(
+                f"unknown topology '{self.topology}'; "
+                f"available: {', '.join(TOPOLOGIES)}"
+            )
         if self.width < 2 or (self.height or 0) < 2:
-            raise ConfigurationError("mesh must be at least 2x2")
+            raise ConfigurationError(f"{self.topology} must be at least 2x2")
         if self.num_vcs < 1:
             raise ConfigurationError("need at least one VC")
         if self.routing_needs_escape and self.num_vcs < 2:
@@ -134,6 +147,26 @@ class SimulationConfig:
                 f"routing '{self.routing}' uses Duato escape channels and "
                 f"needs >= 2 VCs, got {self.num_vcs}"
             )
+        if self.topology != "mesh":
+            # Imported lazily: the registry imports the routing modules,
+            # which must stay importable without config.
+            from repro.routing.registry import check_topology_support
+
+            check_topology_support(self.routing, self.topology)
+        if self.topology == "torus":
+            # The dateline scheme needs one VC (escape VC, for Duato
+            # algorithms) per wrap class — see Torus2D.wrap_vc_class.
+            if self.routing_needs_escape and self.num_vcs < 3:
+                raise ConfigurationError(
+                    f"routing '{self.routing}' on a torus needs two "
+                    f"dateline escape VCs plus at least one adaptive VC "
+                    f"(>= 3 VCs), got {self.num_vcs}"
+                )
+            if self.num_vcs < 2:
+                raise ConfigurationError(
+                    f"routing '{self.routing}' on a torus needs one VC "
+                    f"per dateline class (>= 2 VCs), got {self.num_vcs}"
+                )
         if self.vc_buffer_depth < 1:
             raise ConfigurationError("VC buffer depth must be >= 1")
         if not (0.0 <= self.injection_rate <= 1.0):
@@ -171,7 +204,9 @@ class SimulationConfig:
                     f"faults must be a FaultSchedule or None, "
                     f"got {type(self.faults).__name__}"
                 )
-            self.faults.validate_for(self.width, self.height)
+            self.faults.validate_for(
+                self.width, self.height, topology=self.topology
+            )
         if self.telemetry is not None:
             from repro.telemetry.config import TelemetryConfig
 
@@ -189,9 +224,15 @@ class SimulationConfig:
 
     @property
     def routing_needs_escape(self) -> bool:
-        """Whether the routing algorithm reserves VC0 as a Duato escape VC."""
+        """Whether the routing algorithm reserves escape VCs (Duato)."""
         base = self.routing.split("+")[0].strip().lower()
-        return base in ("dbar", "footprint")
+        return base in ("dbar", "duato", "footprint")
+
+    def make_topology(self):
+        """Instantiate this config's :class:`~repro.topology.base.Topology`."""
+        from repro.topology.base import create_topology
+
+        return create_topology(self.topology, self.width, self.height)
 
     @property
     def max_cycles(self) -> int:
@@ -214,10 +255,16 @@ class SimulationConfig:
 
         Trace events (dataclasses) become plain dicts and the packet-size
         range becomes a list, so the output survives a JSON round trip.
+        The ``topology`` key is omitted at its ``"mesh"`` default
+        (:meth:`from_dict` restores it), keeping mesh payloads — and the
+        result-cache keys hashed from them — byte-identical to configs
+        serialized before the field existed.
         """
         data = asdict(self)
         if data["packet_size_range"] is not None:
             data["packet_size_range"] = list(data["packet_size_range"])
+        if data["topology"] == "mesh":
+            del data["topology"]
         return data
 
     @classmethod
@@ -259,7 +306,7 @@ class SimulationConfig:
             f", {len(self.faults)} faults" if self.faults else ""
         )
         return (
-            f"{self.width}x{self.height} mesh, {self.num_vcs} VCs, "
+            f"{self.width}x{self.height} {self.topology}, {self.num_vcs} VCs, "
             f"{self.routing} routing, {self.traffic} traffic "
             f"@ {self.injection_rate:.3f}, {size} packets, seed {self.seed}"
             f"{fault_note}"

@@ -92,7 +92,6 @@ from repro.sim.results import SimulationResult
 from repro.sim.rng import RngStreams
 from repro.telemetry.config import TelemetryConfig
 from repro.telemetry.hub import TelemetryHub
-from repro.topology.mesh import Mesh2D
 from repro.topology.ports import OPPOSITE, Direction
 from repro.traffic.factory import create_traffic
 from repro.traffic.patterns import TrafficGenerator
@@ -231,7 +230,7 @@ class Simulator:
                 self._vector_engine_cls = VectorEngine
         self.engine_mode = engine_mode
         self.config = config
-        self.mesh = Mesh2D(config.width, config.height)
+        self.mesh = config.make_topology()
         self.rng = RngStreams(config.seed)
         self.routing = create_routing(config.routing)
         self.routers = [

@@ -43,6 +43,11 @@ def vector_unsupported_reason(
     (``config.faults: active fault schedule``) so a notice in a log or
     a differential-sweep report points straight at the knob to change.
     """
+    if config.topology != "mesh":
+        return (
+            f"config.topology: {config.topology} topology "
+            f"(vector core is mesh-only)"
+        )
     if config.faults is not None and config.faults.events:
         return "config.faults: active fault schedule"
     telemetry = config.telemetry

@@ -328,6 +328,7 @@ class VectorEngine:
             fresh=fresh_np,
             owner=owner_np,
             adaptive=adaptive,
+            topology=mesh,
         )
         self._fresh_np = fresh_np
 

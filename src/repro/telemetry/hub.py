@@ -39,7 +39,7 @@ from typing import TYPE_CHECKING
 from repro.metrics.utilization import ChannelUtilization
 from repro.telemetry.config import TelemetryConfig
 from repro.telemetry.result import TelemetryResult
-from repro.topology.mesh import Mesh2D
+from repro.topology.base import Topology
 from repro.topology.ports import NUM_PORTS
 from repro.router.vcstate import VcState
 
@@ -59,7 +59,7 @@ class TelemetryHub:
     that: link counting with no sampling, tracing, or progress.
     """
 
-    def __init__(self, config: TelemetryConfig, mesh: Mesh2D) -> None:
+    def __init__(self, config: TelemetryConfig, mesh: Topology) -> None:
         self.config = config
         self.mesh = mesh
         #: Current simulated cycle, maintained by :meth:`end_cycle` /

@@ -1,6 +1,16 @@
-"""Network topology: k-ary 2-mesh geometry, ports, and channels."""
+"""Network topology: 2D mesh/torus geometry, ports, and channels."""
 
 from repro.topology.ports import Direction, OPPOSITE
+from repro.topology.base import TOPOLOGIES, Topology, create_topology
 from repro.topology.mesh import Mesh2D
+from repro.topology.torus import Torus2D
 
-__all__ = ["Direction", "OPPOSITE", "Mesh2D"]
+__all__ = [
+    "Direction",
+    "OPPOSITE",
+    "TOPOLOGIES",
+    "Topology",
+    "create_topology",
+    "Mesh2D",
+    "Torus2D",
+]

@@ -1,0 +1,127 @@
+"""The topology contract shared by all network geometries.
+
+Everything above the topology layer (routers, routing algorithms, the
+engine, fault validation, traffic factories) talks to the network's
+geometry exclusively through the :class:`Topology` protocol: node
+coordinates, neighbour/channel enumeration, minimal and dimension-order
+routing directions, hop distances, path counts, and the wrap-link VC
+class used for deadlock avoidance on topologies with wrap-around links.
+
+Two concrete topologies implement the protocol:
+
+* :class:`~repro.topology.mesh.Mesh2D` — the k-ary 2-mesh the paper
+  evaluates (``num_vc_classes == 1``; no wrap links, so
+  :meth:`Topology.wrap_vc_class` is constant 0);
+* :class:`~repro.topology.torus.Torus2D` — a k-ary 2-torus whose wrap
+  links are made safe by a dateline VC scheme (``num_vc_classes == 2``).
+
+Instances are pure geometry — no simulation state — so one instance can
+be shared freely between the engine, routers, and validators.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.exceptions import TopologyError
+from repro.topology.ports import Direction
+
+#: Topology names accepted by :func:`create_topology` and
+#: ``SimulationConfig.topology``, in presentation order.
+TOPOLOGIES: tuple[str, ...] = ("mesh", "torus")
+
+
+@runtime_checkable
+class Topology(Protocol):
+    """Geometry queries every network topology must answer.
+
+    The protocol is structural: ``Mesh2D`` and ``Torus2D`` satisfy it
+    without inheriting from anything.  All methods are pure functions of
+    node ids (plus internal caches); none mutate observable state.
+    """
+
+    #: Registry name (``"mesh"`` / ``"torus"``).
+    name: str
+    #: X-dimension radix (columns).
+    width: int
+    #: Y-dimension radix (rows).
+    height: int
+    #: ``width * height``.
+    num_nodes: int
+    #: Number of dateline VC classes deadlock avoidance needs on this
+    #: topology: 1 when the channel dependency graph is already acyclic
+    #: under dimension-order routing (mesh), 2 when wrap-around links
+    #: require a dateline split (torus).
+    num_vc_classes: int
+
+    def coords(self, node: int) -> tuple[int, int]:
+        """``(x, y)`` coordinates of ``node``."""
+        ...
+
+    def node_at(self, x: int, y: int) -> int:
+        """Node id at coordinates ``(x, y)``."""
+        ...
+
+    def neighbor(self, node: int, direction: Direction) -> int | None:
+        """Neighbour through ``direction`` (``None`` at a mesh edge)."""
+        ...
+
+    def router_ports(self, node: int) -> list[Direction]:
+        """All ports present on ``node``'s router, LOCAL last."""
+        ...
+
+    def channels(self) -> list[tuple[int, Direction, int]]:
+        """All unidirectional channels as ``(src, direction, dst)``."""
+        ...
+
+    def hop_distance(self, src: int, dst: int) -> int:
+        """Minimal hop count between two nodes."""
+        ...
+
+    def minimal_directions(self, cur: int, dst: int) -> list[Direction]:
+        """Productive (minimal) directions from ``cur`` towards ``dst``."""
+        ...
+
+    def dor_direction(self, cur: int, dst: int) -> Direction:
+        """Dimension-order (XY) next direction from ``cur`` to ``dst``."""
+        ...
+
+    def num_minimal_paths(self, src: int, dst: int) -> int:
+        """Number of distinct minimal paths between ``src`` and ``dst``."""
+        ...
+
+    def wrap_vc_class(self, cur: int, dst: int, direction: Direction) -> int:
+        """Dateline VC class for the hop from ``cur`` through ``direction``.
+
+        On topologies without wrap links this is always 0.  On a torus it
+        is 0 while the packet's remaining ring traversal (continuing in
+        ``direction`` from the downstream node) still has to cross the
+        ring's wrap link, and 1 from the wrap hop onward — see
+        :meth:`~repro.topology.torus.Torus2D.wrap_vc_class` for the
+        deadlock-freedom argument.
+        """
+        ...
+
+
+def create_topology(
+    name: str, width: int, height: int | None = None
+) -> Topology:
+    """Instantiate the topology registered under ``name``.
+
+    Raises :class:`TopologyError` on an unknown name so config typos
+    fail loudly with the list of valid choices.
+    """
+    # Imported here to keep the protocol module free of concrete
+    # topology imports (mesh.py imports nothing from this module, but
+    # torus.py shares grid helpers with mesh.py).
+    from repro.topology.mesh import Mesh2D
+    from repro.topology.torus import Torus2D
+
+    key = name.strip().lower()
+    if key == "mesh":
+        return Mesh2D(width, height)
+    if key == "torus":
+        return Torus2D(width, height)
+    raise TopologyError(
+        f"unknown topology {name!r}; available: {', '.join(TOPOLOGIES)}"
+    )

@@ -10,6 +10,8 @@ dimension-order routing).
 
 from __future__ import annotations
 
+import math
+
 from repro.exceptions import TopologyError
 from repro.topology.ports import COMPASS, Direction
 
@@ -29,6 +31,14 @@ class Mesh2D:
         Number of rows (the Y dimension radix).  Defaults to ``width``
         (a square mesh) when omitted.
     """
+
+    #: Registry name (see :func:`repro.topology.base.create_topology`).
+    name = "mesh"
+
+    #: A mesh has no wrap links, so dimension-order routing is already
+    #: deadlock-free with a single VC class (see
+    #: :meth:`~repro.topology.base.Topology.wrap_vc_class`).
+    num_vc_classes = 1
 
     def __init__(self, width: int, height: int | None = None) -> None:
         if height is None:
@@ -168,10 +178,12 @@ class Mesh2D:
         """
         sx, sy = self.coords(src)
         dx, dy = self.coords(dst)
-        import math
-
         ax, ay = abs(sx - dx), abs(sy - dy)
         return math.comb(ax + ay, ax)
+
+    def wrap_vc_class(self, cur: int, dst: int, direction: Direction) -> int:
+        """Dateline VC class of a hop — always 0 on a mesh (no wrap links)."""
+        return 0
 
     def __repr__(self) -> str:
         return f"Mesh2D({self.width}x{self.height})"

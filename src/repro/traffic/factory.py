@@ -6,14 +6,14 @@ import random
 
 from repro.exceptions import TrafficError
 from repro.sim.config import SimulationConfig
-from repro.topology.mesh import Mesh2D
+from repro.topology.base import Topology
 from repro.traffic.hotspot import HotspotTraffic
 from repro.traffic.patterns import PATTERNS, SyntheticTraffic, TrafficGenerator
 from repro.traffic.trace import TraceTraffic
 
 
 def create_traffic(
-    config: SimulationConfig, mesh: Mesh2D, rng: random.Random
+    config: SimulationConfig, mesh: Topology, rng: random.Random
 ) -> TrafficGenerator:
     """Instantiate the traffic generator named by ``config.traffic``."""
     name = config.traffic.strip().lower()

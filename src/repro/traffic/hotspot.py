@@ -15,12 +15,12 @@ import random
 from repro.exceptions import TrafficError
 from repro.router.flit import Packet
 from repro.sim.config import SimulationConfig
-from repro.topology.mesh import Mesh2D
+from repro.topology.base import Topology
 from repro.traffic.injection import bernoulli_generates, sample_packet_size
 from repro.traffic.patterns import LookaheadTraffic, pattern_destination
 
 
-def default_hotspot_flows(mesh: Mesh2D) -> list[tuple[int, int]]:
+def default_hotspot_flows(mesh: Topology) -> list[tuple[int, int]]:
     """The paper's Table 3 flows, scaled to the mesh size.
 
     For the 8x8 mesh the flows are exactly Table 3:
@@ -59,7 +59,7 @@ class HotspotTraffic(LookaheadTraffic):
     def __init__(
         self,
         config: SimulationConfig,
-        mesh: Mesh2D,
+        mesh: Topology,
         rng: random.Random,
         flows: list[tuple[int, int]] | None = None,
     ) -> None:

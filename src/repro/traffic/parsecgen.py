@@ -32,7 +32,7 @@ import random
 from dataclasses import dataclass
 
 from repro.exceptions import TrafficError
-from repro.topology.mesh import Mesh2D
+from repro.topology.base import Topology
 from repro.traffic.trace import TraceEvent
 
 
@@ -94,7 +94,7 @@ PARSEC_PROFILES: dict[str, WorkloadProfile] = {
 }
 
 
-def home_tiles(mesh: Mesh2D) -> list[int]:
+def home_tiles(mesh: Topology) -> list[int]:
     """Shared-cache/memory-controller tiles: one column on each edge.
 
     Placing the home tiles on the east and west edges mirrors common CMP
@@ -110,7 +110,7 @@ def home_tiles(mesh: Mesh2D) -> list[int]:
 
 def generate_parsec_trace(
     workload: str,
-    mesh: Mesh2D,
+    mesh: Topology,
     cycles: int,
     seed: int = 1,
     scale: float = 1.0,
@@ -177,7 +177,7 @@ def generate_parsec_trace(
     return events
 
 
-def _hot_homes(mesh: Mesh2D, rng: random.Random) -> list[int]:
+def _hot_homes(mesh: Topology, rng: random.Random) -> list[int]:
     """The few home tiles that absorb the workload's skewed traffic."""
     homes = home_tiles(mesh)
     count = max(2, len(homes) // 4)

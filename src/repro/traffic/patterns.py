@@ -28,7 +28,7 @@ from typing import Callable
 from repro.exceptions import TrafficError
 from repro.router.flit import Packet
 from repro.sim.config import SimulationConfig
-from repro.topology.mesh import Mesh2D
+from repro.topology.base import Topology
 from repro.traffic.injection import bernoulli_generates, sample_packet_size
 
 
@@ -137,12 +137,12 @@ def _num_bits(n: int) -> int:
     return bits
 
 
-def _uniform(mesh: Mesh2D, src: int, rng: random.Random) -> int | None:
+def _uniform(mesh: Topology, src: int, rng: random.Random) -> int | None:
     dst = rng.randrange(mesh.num_nodes - 1)
     return dst if dst < src else dst + 1
 
 
-def _transpose(mesh: Mesh2D, src: int, rng: random.Random) -> int | None:
+def _transpose(mesh: Topology, src: int, rng: random.Random) -> int | None:
     if mesh.width != mesh.height:
         raise TrafficError("transpose requires a square mesh")
     x, y = mesh.coords(src)
@@ -150,19 +150,19 @@ def _transpose(mesh: Mesh2D, src: int, rng: random.Random) -> int | None:
     return None if dst == src else dst
 
 
-def _shuffle(mesh: Mesh2D, src: int, rng: random.Random) -> int | None:
+def _shuffle(mesh: Topology, src: int, rng: random.Random) -> int | None:
     bits = _num_bits(mesh.num_nodes)
     dst = ((src << 1) | (src >> (bits - 1))) & (mesh.num_nodes - 1)
     return None if dst == src else dst
 
 
-def _bitcomp(mesh: Mesh2D, src: int, rng: random.Random) -> int | None:
+def _bitcomp(mesh: Topology, src: int, rng: random.Random) -> int | None:
     _num_bits(mesh.num_nodes)
     dst = ~src & (mesh.num_nodes - 1)
     return None if dst == src else dst
 
 
-def _bitrev(mesh: Mesh2D, src: int, rng: random.Random) -> int | None:
+def _bitrev(mesh: Topology, src: int, rng: random.Random) -> int | None:
     bits = _num_bits(mesh.num_nodes)
     dst = 0
     for i in range(bits):
@@ -171,20 +171,20 @@ def _bitrev(mesh: Mesh2D, src: int, rng: random.Random) -> int | None:
     return None if dst == src else dst
 
 
-def _tornado(mesh: Mesh2D, src: int, rng: random.Random) -> int | None:
+def _tornado(mesh: Topology, src: int, rng: random.Random) -> int | None:
     x, y = mesh.coords(src)
     shift = (mesh.width + 1) // 2 - 1
     dst = mesh.node_at((x + shift) % mesh.width, y)
     return None if dst == src else dst
 
 
-def _neighbor(mesh: Mesh2D, src: int, rng: random.Random) -> int | None:
+def _neighbor(mesh: Topology, src: int, rng: random.Random) -> int | None:
     x, y = mesh.coords(src)
     dst = mesh.node_at((x + 1) % mesh.width, y)
     return None if dst == src else dst
 
 
-DestinationFn = Callable[[Mesh2D, int, random.Random], "int | None"]
+DestinationFn = Callable[[Topology, int, random.Random], "int | None"]
 
 #: Registry of destination functions by pattern name.
 PATTERNS: dict[str, DestinationFn] = {
@@ -199,7 +199,7 @@ PATTERNS: dict[str, DestinationFn] = {
 
 
 def pattern_destination(
-    name: str, mesh: Mesh2D, src: int, rng: random.Random
+    name: str, mesh: Topology, src: int, rng: random.Random
 ) -> int | None:
     """Destination of ``src`` under pattern ``name`` (``None`` = silent)."""
     fn = PATTERNS.get(name)
@@ -210,6 +210,28 @@ def pattern_destination(
     return fn(mesh, src, rng)
 
 
+def pattern_compatibility(name: str, mesh: Topology) -> None:
+    """Raise :class:`TrafficError` if ``name`` cannot run on ``mesh``.
+
+    A pure geometry check — consumes no RNG — so the factory can fail
+    fast at construction with a one-line error instead of mid-setup (or,
+    for a custom generator that skipped the up-front sweep, mid-run).
+    Unknown names are reported by the callers' own name lookups.
+    """
+    if name == "transpose" and mesh.width != mesh.height:
+        raise TrafficError(
+            f"transpose requires a square mesh, got "
+            f"{mesh.width}x{mesh.height}"
+        )
+    if name in ("shuffle", "bitcomp", "bitrev"):
+        n = mesh.num_nodes
+        if 1 << (n - 1).bit_length() != n:
+            raise TrafficError(
+                f"pattern '{name}' requires power-of-two node count, "
+                f"got {n}"
+            )
+
+
 # ----------------------------------------------------------------------
 class SyntheticTraffic(LookaheadTraffic):
     """Bernoulli-injected synthetic traffic under a named pattern."""
@@ -218,7 +240,7 @@ class SyntheticTraffic(LookaheadTraffic):
         self,
         pattern: str,
         config: SimulationConfig,
-        mesh: Mesh2D,
+        mesh: Topology,
         rng: random.Random,
     ) -> None:
         super().__init__()
@@ -227,6 +249,8 @@ class SyntheticTraffic(LookaheadTraffic):
                 f"unknown traffic pattern '{pattern}'; "
                 f"available: {sorted(PATTERNS)}"
             )
+        # Fail fast on geometry mismatches before touching the RNG.
+        pattern_compatibility(pattern, mesh)
         self.pattern = pattern
         self.config = config
         self.mesh = mesh

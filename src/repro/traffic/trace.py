@@ -21,7 +21,7 @@ from pathlib import Path
 from repro.exceptions import TrafficError
 from repro.router.flit import Packet
 from repro.sim.config import SimulationConfig
-from repro.topology.mesh import Mesh2D
+from repro.topology.base import Topology
 from repro.traffic.patterns import TrafficGenerator
 
 
@@ -76,7 +76,7 @@ class TraceTraffic(TrafficGenerator):
         self,
         events: list[TraceEvent],
         config: SimulationConfig,
-        mesh: Mesh2D,
+        mesh: Topology,
         rng: random.Random,
     ) -> None:
         self.config = config

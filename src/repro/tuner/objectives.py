@@ -183,6 +183,7 @@ def make_scenario(
     rates: tuple[float, ...] | None = None,
     latency_rate: float | None = None,
     background_rate: float = 0.3,
+    topology: str = "mesh",
 ) -> Scenario:
     """A standard scenario for one traffic pattern.
 
@@ -195,6 +196,7 @@ def make_scenario(
     hotspot = traffic == "hotspot"
     base = SimulationConfig(
         width=width,
+        topology=topology,
         traffic=traffic,
         injection_rate=0.0 if hotspot else 0.02,
         hotspot_rate=0.05,
@@ -204,8 +206,9 @@ def make_scenario(
         drain_cycles=drain,
         seed=seed,
     )
+    suffix = "" if topology == "mesh" else f"-{topology}"
     return Scenario(
-        name=f"{traffic}-{width}x{width}",
+        name=f"{traffic}-{width}x{width}{suffix}",
         base=base,
         rates=tuple(rates)
         if rates is not None

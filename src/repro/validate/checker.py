@@ -415,26 +415,60 @@ class InvariantChecker:
                             cycle, direction, ivc.index,
                         )
                         port = router.output_ports[out_dir]
-                        if (
-                            port.escape_vc is not None
-                            and out_vc == port.escape_vc
-                            and out_dir is not local
-                            and out_dir is not mesh.dor_direction(
+                        evcs = port.escape_vcs
+                        if out_vc in evcs and out_dir is not local:
+                            if out_dir is not mesh.dor_direction(
                                 node, head.dst
-                            )
+                            ):
+                                raise InvariantViolation(
+                                    "routing_conformance",
+                                    f"escape VC granted on {out_dir.name},"
+                                    f" but Duato's escape condition "
+                                    f"requires the DOR port "
+                                    f"{mesh.dor_direction(node, head.dst).name}"
+                                    f" towards {head.dst}",
+                                    cycle=cycle,
+                                    node=node,
+                                    direction=direction,
+                                    vc=ivc.index,
+                                )
+                            if len(evcs) > 1:
+                                expected = evcs[
+                                    mesh.wrap_vc_class(
+                                        node, head.dst, out_dir
+                                    )
+                                ]
+                                if out_vc != expected:
+                                    raise InvariantViolation(
+                                        "routing_conformance",
+                                        f"escape VC {out_vc} granted for "
+                                        f"a hop whose dateline class "
+                                        f"requires escape VC {expected}",
+                                        cycle=cycle,
+                                        node=node,
+                                        direction=direction,
+                                        vc=ivc.index,
+                                    )
+                        elif (
+                            mesh.num_vc_classes > 1
+                            and out_dir is not local
                         ):
-                            raise InvariantViolation(
-                                "routing_conformance",
-                                f"escape VC granted on {out_dir.name}, "
-                                f"but Duato's escape condition requires "
-                                f"the DOR port "
-                                f"{mesh.dor_direction(node, head.dst).name}"
-                                f" towards {head.dst}",
-                                cycle=cycle,
-                                node=node,
-                                direction=direction,
-                                vc=ivc.index,
+                            cls = sim.routing.vc_class(
+                                port.num_vcs, out_vc
                             )
+                            if cls is not None and cls != mesh.wrap_vc_class(
+                                node, head.dst, out_dir
+                            ):
+                                raise InvariantViolation(
+                                    "routing_conformance",
+                                    f"VC {out_vc} of dateline class "
+                                    f"{cls} granted for a hop of class "
+                                    f"{mesh.wrap_vc_class(node, head.dst, out_dir)}",
+                                    cycle=cycle,
+                                    node=node,
+                                    direction=direction,
+                                    vc=ivc.index,
+                                )
                         owner = port.owner_dst[out_vc]
                         if owner != head.dst:
                             raise InvariantViolation(

@@ -60,6 +60,11 @@ _PATTERNS = (
 #: Bit-permutation patterns require a power-of-two node count.
 _POW2_PATTERNS = ("bitcomp", "bitrev", "shuffle")
 
+#: Algorithms whose deadlock-freedom argument survives wrap-around links
+#: (Odd-Even and the XORDET overlays are mesh-structural; see
+#: :func:`repro.routing.registry.check_topology_support`).
+_TORUS_ALGORITHMS = ("dor", "dbar", "dbar-fine", "footprint", "duato")
+
 
 def result_signature(result: SimulationResult) -> tuple:
     """A comparable fingerprint of everything a run measured.
@@ -89,8 +94,17 @@ def random_configs(
         patterns = (
             _PATTERNS + _POW2_PATTERNS if width == 4 else _PATTERNS
         )
-        routing = rng.choice(_ALGORITHMS)
-        num_vcs = rng.choice((2, 3, 4))
+        # Every fourth config or so runs on a torus: the wrap links and
+        # dateline escape VCs must stay bit-identical across engine
+        # modes too (the vector run degrades to skip and records the
+        # topology fallback reason).
+        topology = "torus" if rng.random() < 0.25 else "mesh"
+        if topology == "torus":
+            routing = rng.choice(_TORUS_ALGORITHMS)
+            num_vcs = rng.choice((3, 4))
+        else:
+            routing = rng.choice(_ALGORITHMS)
+            num_vcs = rng.choice((2, 3, 4))
         config_seed = rng.randrange(1 << 16)
         faults = None
         if include_faults and rng.random() < 0.4:
@@ -101,11 +115,13 @@ def random_configs(
                 cycle=rng.randrange(10, 40),
                 duration=rng.randrange(40, 90),
                 seed=rng.randrange(1 << 16),
+                topology=topology,
             )
         packet_range = (1, 4) if rng.random() < 0.3 else None
         configs.append(
             SimulationConfig(
                 width=width,
+                topology=topology,
                 num_vcs=num_vcs,
                 vc_buffer_depth=rng.choice((2, 4)),
                 routing=routing,

@@ -28,7 +28,7 @@ def test_quick_bench_writes_report(run_bench, tmp_path):
     assert len(reports) == 1
     payload = json.loads(reports[0].read_text())
 
-    assert payload["schema"] == "footprint-noc-bench/8"
+    assert payload["schema"] == "footprint-noc-bench/9"
     assert payload["quick"] is True
 
     engine = payload["engine"]
@@ -56,6 +56,19 @@ def test_quick_bench_writes_report(run_bench, tmp_path):
         assert entry["resolved_mode"] in ("vector", "skip")
         assert entry["auto_speedup"] > 0
         assert entry["auto_cycles_per_sec"] > 0
+
+    torus = payload["torus"]
+    assert len(torus["matrix"]) == len(run_bench.QUICK_TORUS_MATRIX)
+    for entry in torus["matrix"]:
+        assert entry["topology"] == "torus"
+        assert entry["results_identical"] is True
+        assert entry["drained"] is True
+        assert "config.topology" in entry["vector_fallback"]
+        assert entry["skip_cycles_per_sec"] > 0
+        assert entry["fast_cycles_per_sec"] > 0
+        assert entry["legacy_cycles_per_sec"] > 0
+    assert torus["summary"]["all_drained"] is True
+    assert torus["summary"]["results_identical"] is True
 
     assert payload["baseline"] == {"skipped": "--no-baseline"}
 

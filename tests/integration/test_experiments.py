@@ -112,6 +112,38 @@ class TestFullFigures:
         assert all(e.dbar_latency > 0 for e in entries)
 
 
+class TestRectangularScales:
+    """Regression: a square mesh was once hardcoded in the drivers.
+
+    ``fig10_parsec`` built ``Mesh2D(scale.width)`` and
+    ``table1_adaptiveness`` built ``Mesh2D(width)``, so rectangular
+    scales generated traces and adaptiveness tables for a network that
+    did not match the simulated one.  Both must honour a 4x8 geometry.
+    """
+
+    def test_fig10_on_4x8(self):
+        scale = exp.Scale(
+            name="rect",
+            width=4,
+            height=8,
+            num_vcs=4,
+            warmup=60,
+            measure=120,
+            drain=400,
+            trace_cycles=300,
+        )
+        assert scale.make_topology().height == 8
+        entries = exp.fig10_parsec(scale, pairs=(("bodytrack", "x264"),))
+        (entry,) = entries
+        assert entry.dbar_latency > 0
+        assert entry.footprint_latency > 0
+
+    def test_table1_on_4x8(self):
+        table = exp.table1_adaptiveness(width=4, height=8)
+        assert table["footprint"]["P_adapt"] == 1.0
+        assert table["dor"]["P_adapt"] < 1.0
+
+
 class TestStaticTables:
     def test_table1(self):
         table = exp.table1_adaptiveness()

@@ -1,0 +1,123 @@
+"""Property-based tests for torus geometry and the dateline VC scheme."""
+
+from hypothesis import given, strategies as st
+
+from repro.topology.ports import COMPASS, OPPOSITE, Direction
+from repro.topology.torus import Torus2D
+
+dims = st.integers(min_value=2, max_value=16)
+
+
+@st.composite
+def torus_and_node(draw):
+    torus = Torus2D(draw(dims), draw(dims))
+    node = draw(st.integers(0, torus.num_nodes - 1))
+    return torus, node
+
+
+@st.composite
+def torus_and_pair(draw):
+    torus = Torus2D(draw(dims), draw(dims))
+    src = draw(st.integers(0, torus.num_nodes - 1))
+    dst = draw(st.integers(0, torus.num_nodes - 1))
+    return torus, src, dst
+
+
+@given(torus_and_node())
+def test_coords_roundtrip(tn):
+    torus, node = tn
+    x, y = torus.coords(node)
+    assert 0 <= x < torus.width and 0 <= y < torus.height
+    assert torus.node_at(x, y) == node
+
+
+@given(torus_and_node())
+def test_every_port_has_a_mutual_neighbor(tn):
+    torus, node = tn
+    for d in COMPASS:
+        nbr = torus.neighbor(node, d)
+        assert nbr is not None
+        assert torus.neighbor(nbr, OPPOSITE[d]) == node
+        assert torus.hop_distance(node, nbr) == 1
+
+
+@given(torus_and_pair())
+def test_hop_distance_metric(tp):
+    torus, src, dst = tp
+    d = torus.hop_distance(src, dst)
+    assert d == torus.hop_distance(dst, src)
+    assert (d == 0) == (src == dst)
+    # Shorter-way bound: half of each ring, not the mesh diameter.
+    assert d <= torus.width // 2 + torus.height // 2
+
+
+@given(torus_and_pair())
+def test_minimal_directions_reduce_distance(tp):
+    torus, src, dst = tp
+    dirs = torus.minimal_directions(src, dst)
+    assert (not dirs) == (src == dst)
+    assert len(dirs) == len(set(d.dimension for d in dirs))
+    for d in dirs:
+        nbr = torus.neighbor(src, d)
+        assert torus.hop_distance(nbr, dst) == torus.hop_distance(src, dst) - 1
+
+
+@given(torus_and_pair())
+def test_dor_walk_terminates_minimally(tp):
+    torus, src, dst = tp
+    cur = src
+    hops = 0
+    while cur != dst:
+        direction = torus.dor_direction(cur, dst)
+        assert direction is not Direction.LOCAL
+        cur = torus.neighbor(cur, direction)
+        hops += 1
+        assert hops <= torus.num_nodes
+    assert hops == torus.hop_distance(src, dst)
+    assert torus.dor_direction(dst, dst) is Direction.LOCAL
+
+
+@given(torus_and_pair())
+def test_dateline_classes_never_fall_back_to_zero(tp):
+    """Along any DOR path each ring's VC class is 0...0 then 1...1.
+
+    This monotonicity is the whole deadlock-freedom argument: a packet
+    that has crossed a ring's dateline (class 1) must never re-enter
+    class 0 on that ring, otherwise the class-0 channel cycle closes.
+    """
+    torus, src, dst = tp
+    cur = src
+    last_class = {0: -1, 1: -1}  # per dimension
+    while cur != dst:
+        direction = torus.dor_direction(cur, dst)
+        vc_class = torus.wrap_vc_class(cur, dst, direction)
+        assert vc_class in (0, 1)
+        assert vc_class >= last_class[direction.dimension]
+        last_class[direction.dimension] = vc_class
+        cur = torus.neighbor(cur, direction)
+
+
+@given(torus_and_pair())
+def test_wrap_hop_is_always_class_one(tp):
+    """The hop that crosses a ring's wrap link rides the high class."""
+    torus, src, dst = tp
+    cur = src
+    while cur != dst:
+        direction = torus.dor_direction(cur, dst)
+        nxt = torus.neighbor(cur, direction)
+        cx, cy = torus.coords(cur)
+        nx, ny = torus.coords(nxt)
+        wrapped = (
+            abs(nx - cx) > 1 if direction.dimension == 0 else abs(ny - cy) > 1
+        )
+        if wrapped:
+            assert torus.wrap_vc_class(cur, dst, direction) == 1
+        cur = nxt
+
+
+@given(torus_and_pair())
+def test_num_minimal_paths_positive(tp):
+    torus, src, dst = tp
+    paths = torus.num_minimal_paths(src, dst)
+    assert paths >= 1
+    assert paths == torus.num_minimal_paths(dst, src)

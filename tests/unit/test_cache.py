@@ -84,6 +84,7 @@ class TestCacheKey:
             "congestion_threshold": 0.25,
             "track_utilization": True,
             "faults": FaultSchedule((FaultEvent(0, "router", 5),)),
+            "topology": "torus",
         }
         # Every SimulationConfig field must feed the hash — except
         # telemetry, which is observation-only and deliberately excluded

@@ -111,3 +111,59 @@ class TestHelpers:
         assert "dbar" in text
         assert "shuffle" in text
         assert "8x8" in text
+
+
+class TestTopology:
+    def test_mesh_is_the_default(self):
+        assert SimulationConfig().topology == "mesh"
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown topology"):
+            SimulationConfig(topology="hypercube")
+
+    def test_torus_rejects_mesh_only_routing(self):
+        with pytest.raises(ConfigurationError, match="mesh-only"):
+            SimulationConfig(topology="torus", routing="oddeven")
+        with pytest.raises(ConfigurationError, match="mesh-only"):
+            SimulationConfig(topology="torus", routing="footprint+xordet")
+
+    def test_torus_vc_minimums(self):
+        # Dateline deadlock avoidance needs one VC per class...
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(topology="torus", routing="dor", num_vcs=1)
+        SimulationConfig(topology="torus", routing="dor", num_vcs=2)
+        # ...and the Duato-style escape algorithms need an adaptive VC
+        # on top of the two escape classes.
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(topology="torus", routing="footprint", num_vcs=2)
+        SimulationConfig(topology="torus", routing="footprint", num_vcs=3)
+
+    def test_make_topology(self):
+        from repro.topology.mesh import Mesh2D
+        from repro.topology.torus import Torus2D
+
+        assert isinstance(SimulationConfig().make_topology(), Mesh2D)
+        torus = SimulationConfig(
+            width=4, height=6, topology="torus"
+        ).make_topology()
+        assert isinstance(torus, Torus2D)
+        assert (torus.width, torus.height) == (4, 6)
+
+    def test_mesh_payload_has_no_topology_key(self):
+        # Cache-key stability: mesh configs must serialize byte-identically
+        # to payloads written before the topology field existed.
+        assert "topology" not in SimulationConfig().to_dict()
+        assert SimulationConfig.from_dict(
+            SimulationConfig().to_dict()
+        ).topology == "mesh"
+
+    def test_torus_round_trips(self):
+        config = SimulationConfig(width=4, topology="torus", num_vcs=4)
+        data = config.to_dict()
+        assert data["topology"] == "torus"
+        assert SimulationConfig.from_dict(data) == config
+
+    def test_describe_mentions_topology(self):
+        assert "torus" in SimulationConfig(
+            topology="torus", num_vcs=4
+        ).describe()

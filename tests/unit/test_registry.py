@@ -55,3 +55,33 @@ def test_available_names_all_resolve():
 
 def test_fresh_instances():
     assert create_routing("footprint") is not create_routing("footprint")
+
+
+def test_duato_alias_is_dbar():
+    # Hidden alias for plain Duato minimal fully-adaptive routing.
+    assert isinstance(create_routing("duato"), DbarRouting)
+    assert "duato" not in available_algorithms()
+
+
+class TestTopologySupport:
+    def test_torus_capable_algorithms_pass(self):
+        from repro.routing.registry import check_topology_support
+
+        for name in ("dor", "duato", "dbar", "dbar-fine", "footprint"):
+            check_topology_support(name, "torus")
+            check_topology_support(name, "mesh")
+
+    def test_mesh_structural_algorithms_rejected(self):
+        from repro.exceptions import ConfigurationError
+        from repro.routing.registry import check_topology_support
+
+        for name in ("oddeven", "dor+xordet", "footprint+xordet"):
+            with pytest.raises(ConfigurationError, match="mesh-only"):
+                check_topology_support(name, "torus")
+
+    def test_unknown_names_fall_through(self):
+        from repro.routing.registry import check_topology_support
+
+        # Unknown algorithms are create_routing's problem, not the
+        # topology gate's — no exception here.
+        check_topology_support("warp-speed", "torus")
