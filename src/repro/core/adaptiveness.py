@@ -50,14 +50,30 @@ def port_adaptiveness(
 
 def _minimal_dag_nodes(mesh: Topology, src: int, dst: int) -> list[int]:
     """All routers on at least one minimal path from ``src`` to ``dst``
-    (excluding the destination, where no routing decision remains)."""
-    sx, sy = mesh.coords(src)
-    dx, dy = mesh.coords(dst)
-    xs = range(min(sx, dx), max(sx, dx) + 1)
-    ys = range(min(sy, dy), max(sy, dy) + 1)
-    return [
-        mesh.node_at(x, y) for x in xs for y in ys if (x, y) != (dx, dy)
-    ]
+    (excluding the destination, where no routing decision remains).
+
+    Walks the topology's productive directions from ``src`` rather than
+    enumerating a coordinate rectangle, so it is correct on any
+    :class:`Topology` — including torus pairs whose shorter ring path
+    crosses a wrap link, where the mesh bounding box would name the
+    complementary (non-minimal) node set.  Every productive hop strictly
+    decreases ``hop_distance``, so the walk terminates at ``dst``.
+    """
+    seen = {src}
+    frontier = [src]
+    nodes: list[int] = []
+    while frontier:
+        node = frontier.pop()
+        if node == dst:
+            continue
+        nodes.append(node)
+        for direction in mesh.minimal_directions(node, dst):
+            nbr = mesh.neighbor(node, direction)
+            if nbr is not None and nbr not in seen:
+                seen.add(nbr)
+                frontier.append(nbr)
+    nodes.sort()
+    return nodes
 
 
 def mean_port_adaptiveness(

@@ -41,7 +41,7 @@ class FaultManager:
     """
 
     def __init__(self, schedule: FaultSchedule, mesh: Topology) -> None:
-        schedule.validate_for(mesh.width, mesh.height)
+        schedule.validate_for(mesh.width, mesh.height, topology=mesh.name)
         self.mesh = mesh
         self.schedule = schedule
 

@@ -11,8 +11,10 @@ import pytest
 
 from repro.cli import main as cli_main
 from repro.exceptions import ConfigurationError
+from repro.faults import FaultEvent, FaultSchedule, random_link_faults
 from repro.sim.config import SimulationConfig
 from repro.sim.engine import Simulator
+from repro.topology.ports import Direction
 
 
 def _signature(result):
@@ -114,6 +116,34 @@ class TestSaturationDrain:
         result = Simulator(config).run()
         assert result.drained
         assert result.measured_ejected > 0
+
+
+class TestTorusFaults:
+    """Wrap-link faults must simulate — regression for the FaultManager
+    re-validating its schedule against a hardcoded mesh."""
+
+    def test_wrap_link_fault_modes_identical(self):
+        # Node 3 is (3, 0): its EAST link is the x-ring wrap channel,
+        # which only exists on the torus.
+        schedule = FaultSchedule(
+            (FaultEvent(50, "link", 3, Direction.EAST, duration=70),)
+        )
+        config = _torus_config("dor", faults=schedule)
+        signatures = {
+            mode: _signature(Simulator(config, engine_mode=mode).run())
+            for mode in ("legacy", "fast", "skip")
+        }
+        assert signatures["legacy"] == signatures["fast"] == signatures["skip"]
+
+    def test_random_link_faults_on_torus_drain(self):
+        # Topology-aware random link faults draw from all torus channels
+        # (wrap links included) — the differential sweep's fault path.
+        schedule = random_link_faults(
+            4, k=4, cycle=30, duration=60, seed=9, topology="torus"
+        )
+        result = Simulator(_torus_config("footprint", faults=schedule)).run()
+        assert result.drained
+        assert result.accepted_flits > 0
 
 
 class TestVectorFallback:

@@ -5,6 +5,7 @@ from fractions import Fraction
 import pytest
 
 from repro.core.adaptiveness import (
+    _minimal_dag_nodes,
     mean_port_adaptiveness,
     port_adaptiveness,
     qualitative_comparison,
@@ -12,6 +13,7 @@ from repro.core.adaptiveness import (
 )
 from repro.routing.registry import create_routing
 from repro.topology.mesh import Mesh2D
+from repro.topology.torus import Torus2D
 
 
 @pytest.fixture
@@ -53,6 +55,52 @@ class TestPortAdaptiveness:
 
     def test_at_destination(self, mesh):
         assert port_adaptiveness(create_routing("dor"), mesh, 5, 5) == 1
+
+
+class TestTorusDag:
+    """The minimal-path DAG must follow the topology's productive
+    directions, not the mesh bounding rectangle (which names the
+    complementary node set when the shorter ring path wraps)."""
+
+    def test_wrap_pair_uses_wrap_side_nodes(self):
+        torus = Torus2D(4)
+        # (0,0) -> (3,1) minimally goes WEST across the wrap then SOUTH:
+        # the DAG is {0, 3, 4}, not the 0..3 x 0..1 rectangle.
+        assert _minimal_dag_nodes(torus, 0, 7) == [0, 3, 4]
+
+    def test_all_dag_nodes_lie_on_minimal_paths(self):
+        torus = Torus2D(4)
+        for src in range(torus.num_nodes):
+            for dst in range(torus.num_nodes):
+                base = torus.hop_distance(src, dst)
+                nodes = _minimal_dag_nodes(torus, src, dst)
+                assert dst not in nodes
+                for node in nodes:
+                    assert (
+                        torus.hop_distance(src, node)
+                        + torus.hop_distance(node, dst)
+                        == base
+                    )
+
+    def test_mesh_dag_matches_bounding_rectangle(self):
+        mesh = Mesh2D(3, 5)
+        for src in range(mesh.num_nodes):
+            for dst in range(mesh.num_nodes):
+                sx, sy = mesh.coords(src)
+                dx, dy = mesh.coords(dst)
+                rectangle = sorted(
+                    mesh.node_at(x, y)
+                    for x in range(min(sx, dx), max(sx, dx) + 1)
+                    for y in range(min(sy, dy), max(sy, dy) + 1)
+                    if (x, y) != (dx, dy)
+                )
+                assert _minimal_dag_nodes(mesh, src, dst) == rectangle
+
+    def test_fully_adaptive_is_one_on_torus(self):
+        torus = Torus2D(4)
+        algo = create_routing("footprint")
+        for src, dst in [(0, 7), (0, 10), (5, 12)]:
+            assert mean_port_adaptiveness(algo, torus, src, dst) == 1.0
 
 
 class TestVcAdaptiveness:

@@ -17,6 +17,7 @@ from repro.harness.cache import config_cache_key
 from repro.sim.config import SimulationConfig
 from repro.topology.mesh import Mesh2D
 from repro.topology.ports import Direction
+from repro.topology.torus import Torus2D
 
 
 # ----------------------------------------------------------------------
@@ -271,6 +272,23 @@ def test_manager_holds_and_releases_credits_in_order():
     changed, released = fm.advance_to(10)
     assert released == [(1, Direction.EAST, 2), (1, Direction.EAST, 0)]
     assert fm.held_credits == 0
+
+
+def test_manager_accepts_torus_wrap_link_fault():
+    # Regression: the manager re-validated its schedule against a
+    # hardcoded mesh, so a wrap-link fault that passed config validation
+    # raised "no EAST link at node 3 in Mesh2D(4x4)" at build time.
+    fm = FaultManager(
+        FaultSchedule(
+            (FaultEvent(0, "link", 3, Direction.EAST, duration=5),)
+        ),
+        Torus2D(4),
+    )
+    fm.advance_to(0)
+    assert fm.blocked_out[3] == 1 << Direction.EAST
+    assert fm.credit_blocked(3, Direction.EAST)
+    fm.advance_to(5)
+    assert fm.blocked_out[3] == 0
 
 
 def test_manager_overlapping_faults_reference_counted():
